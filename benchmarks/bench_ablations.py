@@ -1,0 +1,19 @@
+"""Ablation bench: the design choices DESIGN.md §7 calls out."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(report):
+    result = report(ablations.run, ablations.render, seed=8100)
+    values = result.values
+    # Config push is the difference between sub-second recovery and
+    # waiting minutes for ambient ops fixes.
+    assert values["config_push_on"] < 2.0
+    assert values["config_push_off"] > 60.0
+    # The 2 s grace avoids a reset on self-healing transients and is
+    # faster overall (a reset wipes the already-recovering stack).
+    assert values["grace_on"] < values["grace_off"]
+    assert values["grace_on_resets"] == 0 and values["grace_off_resets"] >= 1
+    # The escort session avoids the bearer drop + reattach.
+    assert values["escort_on"] < values["escort_off"]
+    assert values["escort_on_regs"] == 0 and values["escort_off_regs"] >= 1

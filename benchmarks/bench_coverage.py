@@ -1,0 +1,14 @@
+"""§7.1.1/§6 bench: SEED failure-handling coverage."""
+
+from repro.experiments import coverage
+
+
+def test_coverage(report):
+    result = report(coverage.run, coverage.render, runs=30, seed=7000)
+    # Paper: 89.4 % control plane, 95.5 % data plane handled without
+    # user action; stage-1 deployment covers ≈ 63 % of all failures.
+    assert abs(result.weighted["control_plane"] - 0.894) < 0.04
+    assert abs(result.weighted["data_plane"] - 0.955) < 0.04
+    assert abs(result.weighted["stage1"] - 0.63) < 0.05
+    assert result.measured["control_plane"] > 0.75
+    assert result.measured["data_plane"] > 0.85

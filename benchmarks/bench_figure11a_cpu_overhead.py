@@ -1,0 +1,13 @@
+"""Figure 11a bench: core CPU utilization vs failure-event rate."""
+
+from repro.experiments import figure11a
+
+
+def test_figure11a_cpu_overhead(report):
+    result = report(figure11a.run, figure11a.render)
+    # SEED's diagnosis overhead stays under the paper's 4.7 points even
+    # at the 100 failures/s stress point, and grows linearly.
+    assert result.max_overhead() < 4.7
+    overheads = [s - b for s, b in zip(result.seed_util, result.base_util)]
+    assert overheads == sorted(overheads)  # monotone in the rate
+    assert result.base_util[0] < result.base_util[-1]

@@ -1,0 +1,12 @@
+"""Figure 11b bench: device battery overhead of SIM diagnosis."""
+
+from repro.experiments import figure11b
+
+
+def test_figure11b_battery(report):
+    result = report(figure11b.run, figure11b.render)
+    overhead = result.consumed["seed"] - result.consumed["default"]
+    # Paper: +1.2 points at 1 diagnosis/s for 30 min; MobileInsight ≈ +8.5.
+    assert 0.8 < overhead < 1.6
+    assert result.consumed["mobileinsight"] - result.consumed["default"] > 7.0
+    assert result.diagnosis_events >= 1700  # ~1 per second sustained

@@ -1,0 +1,14 @@
+"""Figure 12 bench: SIM↔infra collaboration latency."""
+
+from repro.experiments import figure12
+
+
+def test_figure12_collab_latency(report):
+    result = report(figure12.run, figure12.render, exchanges=20)
+    # All four stages live in the tens-of-milliseconds band (paper:
+    # 12.8 / 41.2 / 35.9 / 46.3 ms).
+    assert 0.008 < result.mean("downlink_prep") < 0.020
+    assert 0.025 < result.mean("downlink_trans") < 0.080
+    assert 0.025 < result.mean("uplink_prep") < 0.060
+    assert 0.025 < result.mean("uplink_trans") < 0.080
+    assert all(result.samples[key] for key in result.samples)

@@ -1,0 +1,17 @@
+"""Figure 13 bench: recovery time per multi-tier reset level."""
+
+from repro.experiments import figure13
+
+
+def test_figure13_multitier_reset(report):
+    result = report(figure13.run, figure13.render)
+    times = result.times
+    for tier in ("hardware", "control_plane", "data_plane"):
+        # SEED-R ≤ SEED-U ≤ legacy at every tier (Figure 13's shape).
+        assert times[(tier, "seed_r")] < times[(tier, "seed_u")]
+        assert times[(tier, "seed_u")] < times[(tier, "legacy")]
+    # Anchors: legacy ladder costs tens of seconds; B3 is sub-second.
+    assert times[("hardware", "legacy")] > 35.0
+    assert times[("data_plane", "seed_r")] < 1.0
+    assert times[("data_plane", "seed_u")] < 1.5
+    assert 4.0 < times[("hardware", "seed_u")] < 8.0

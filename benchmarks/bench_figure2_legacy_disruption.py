@@ -1,0 +1,12 @@
+"""Figure 2 bench: legacy modem handling disruption CDF."""
+
+from repro.experiments import figure2
+
+
+def test_figure2_legacy_disruption(report):
+    result = report(figure2.run, figure2.render, procedures=24_000)
+    # Paper anchors: CP median 12.4 s, 19 % < 2 s; DP ≈ 8 min median.
+    assert 10.0 < result.control.median < 16.0
+    assert abs(result.control.fraction_below(2.0) - 0.19) < 0.03
+    assert 350.0 < result.data.median < 650.0
+    assert result.control.p90 > 700.0

@@ -1,0 +1,20 @@
+"""§7.2.4 bench: collaborative online learning on customized failures."""
+
+from repro.experiments import online_learning
+
+
+def test_online_learning(report):
+    result = report(online_learning.run, online_learning.render,
+                    failures_per_cause=12, devices=6, seed=900)
+    # Paper: all 8 customized failures classified onto the correct
+    # plane with a matching reset recommendation.
+    assert result.all_correct()
+    # Data-plane customs resolve with the sub-second B3 reset; control
+    # customs take the ladder into control/hardware-tier resets.
+    for cause in online_learning.DP_CAUSES:
+        assert result.mean_recovery(cause) < 3.0
+    for cause in online_learning.CP_CAUSES:
+        assert result.mean_recovery(cause) < 40.0
+    # Confidence in the learned action grew with the evidence.
+    for cause in online_learning.CP_CAUSES + online_learning.DP_CAUSES:
+        assert result.learner.confidence(cause) > 0.6

@@ -1,0 +1,11 @@
+"""Table 1 bench: failure-cause composition of the trace corpus."""
+
+from repro.experiments import table1
+
+
+def test_table1_failure_causes(report):
+    result = report(table1.run, table1.render, procedures=24_000)
+    stats = result.stats
+    assert abs(stats.control_share - 0.562) < 0.03
+    top_cp = stats.top_causes("control", 1)[0]
+    assert top_cp.cause == 9  # UE identity cannot be derived

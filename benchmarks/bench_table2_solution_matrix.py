@@ -1,0 +1,9 @@
+"""Table 2 bench: solution comparison matrix (capability checks)."""
+
+from repro.experiments import table2
+
+
+def test_table2_solution_matrix(report):
+    result = report(table2.run, table2.render)
+    assert all(result.seed_claims.values())
+    assert [cap.name for cap in result.matrix][-1] == "SEED"

@@ -1,0 +1,38 @@
+"""Table 4 bench: disruption percentiles, legacy vs SEED-U vs SEED-R.
+
+The headline result (§7.1.1): SEED reduces median disruption from
+12.4→8.0/4.4 s (control plane), 476→0.9/0.6 s (data plane), and
+31.2→1.1/0.4 s (data delivery).
+"""
+
+from repro.experiments import table4
+from repro.infra.failures import FailureClass
+from repro.testbed.harness import HandlingMode
+
+
+def test_table4_disruption(report):
+    result = report(table4.run, table4.render, runs=30, seed=4000)
+    cells = result.cells
+
+    def cell(fc, mode):
+        return cells[(fc, mode)]
+
+    # Control plane: SEED-U median ≈ 8 s, SEED-R faster, legacy ≈ 12 s.
+    cp = FailureClass.CONTROL_PLANE
+    assert 6.0 < cell(cp, HandlingMode.SEED_U).median < 10.0
+    assert cell(cp, HandlingMode.SEED_R).median < cell(cp, HandlingMode.SEED_U).median
+    assert cell(cp, HandlingMode.LEGACY).median > cell(cp, HandlingMode.SEED_U).median
+
+    # Data plane: the two-orders-of-magnitude win.
+    dp = FailureClass.DATA_PLANE
+    assert cell(dp, HandlingMode.SEED_U).median < 2.0
+    assert cell(dp, HandlingMode.SEED_R).median < 1.5
+    assert cell(dp, HandlingMode.LEGACY).median > 100.0
+    assert (cell(dp, HandlingMode.LEGACY).median
+            > 100 * cell(dp, HandlingMode.SEED_R).median)
+
+    # Data delivery: sub-2 s with SEED vs tens of seconds legacy.
+    dd = FailureClass.DATA_DELIVERY
+    assert cell(dd, HandlingMode.SEED_U).median < 2.5
+    assert cell(dd, HandlingMode.SEED_R).median < 2.0
+    assert cell(dd, HandlingMode.LEGACY).median > 20.0

@@ -1,0 +1,21 @@
+"""Table 5 bench: per-application average disruption."""
+
+from repro.experiments import table5
+from repro.testbed.harness import HandlingMode
+
+
+def test_table5_app_disruption(report):
+    result = report(table5.run, table5.render, seed=5000)
+    d = result.disruption
+
+    # Video's 30 s buffer absorbs SEED-handled outages entirely.
+    assert d[("video", "d_plane", HandlingMode.SEED_U)] == 0.0
+    assert d[("video", "d_delivery", HandlingMode.SEED_R)] == 0.0
+    # Legacy leaves every app disrupted for tens to hundreds of seconds.
+    for app in ("video", "live_stream", "web", "navigation", "edge_ar"):
+        assert d[(app, "d_plane", HandlingMode.LEGACY)] > 100.0
+        assert d[(app, "d_plane", HandlingMode.SEED_R)] < 5.0
+    # The AR app (no buffer) sees the full SEED recovery time but
+    # still stays under a handful of seconds.
+    assert d[("edge_ar", "d_delivery", HandlingMode.SEED_R)] < 3.0
+    assert d[("edge_ar", "c_plane", HandlingMode.SEED_R)] < 10.0

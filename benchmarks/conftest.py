@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure via its experiment
+runner and prints the rendered artifact once, so ``pytest benchmarks/
+--benchmark-only`` doubles as the full reproduction report. Sizes are
+chosen to finish in minutes on a laptop; the experiment runners accept
+larger sizes for tighter percentiles.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, run_fn, render_fn, rounds=1, **kwargs):
+    """Benchmark ``run_fn`` and print the rendered paper artifact."""
+    result_holder = {}
+
+    def target():
+        result_holder["result"] = run_fn(**kwargs)
+        return result_holder["result"]
+
+    benchmark.pedantic(target, rounds=rounds, iterations=1, warmup_rounds=0)
+    print()
+    print(render_fn(result_holder["result"]))
+    return result_holder["result"]
+
+
+@pytest.fixture
+def report(benchmark):
+    def _report(run_fn, render_fn, rounds=1, **kwargs):
+        return run_and_report(benchmark, run_fn, render_fn, rounds=rounds, **kwargs)
+
+    return _report

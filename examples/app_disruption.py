@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""App-level disruption demo (Table 5 / §7.1.2).
+
+Launches the paper's five latency-sensitive applications — video
+(30 s buffer), live streaming (3 s), web browsing, navigation, and an
+edge AR app (no buffer) — then injects a data-plane failure and prints
+the user-perceived disruption per app under each handling scheme.
+
+Run:  python examples/app_disruption.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import table5
+from repro.testbed.harness import HandlingMode
+
+
+def main() -> None:
+    rows = []
+    for app in ("video", "live_stream", "web", "navigation", "edge_ar"):
+        row = [app]
+        for mode in HandlingMode:
+            row.append(table5.run_cell(app, "d_plane", mode, seed=5000))
+        paper = table5.PAPER[(app, "d_plane")]
+        row.append("/".join(f"{v:g}" for v in paper))
+        rows.append(row)
+    print(format_table(
+        ["App", "Legacy (s)", "SEED-U (s)", "SEED-R (s)", "Paper L/U/R"],
+        rows, title="User-perceived disruption — data-plane failure (cause #27)",
+    ))
+    print()
+    print("Buffers mask what they can: video's 30 s buffer absorbs the")
+    print("entire SEED-handled outage, while legacy handling (minutes)")
+    print("blows through every buffer. The AR app perceives nearly the")
+    print("raw recovery time — exactly why it reports failures to SEED.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: one failure, three handling schemes.
+
+Builds a full 5G testbed (device + SIM + gNB + core), injects the
+paper's running example — an outdated APN/DNN that makes every PDU
+session establishment fail with 5GSM cause #27 — and shows how long
+the service outage lasts under legacy modem/Android handling versus
+SEED without root (SEED-U) and with root (SEED-R).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.testbed import HandlingMode, Testbed, scenario_by_name
+
+
+def main() -> None:
+    print("SEED quickstart — outdated-DNN data-plane failure (cause #27)")
+    print("=" * 64)
+    scenario = scenario_by_name("dp_outdated_dnn")
+    for mode in (HandlingMode.LEGACY, HandlingMode.SEED_U, HandlingMode.SEED_R):
+        testbed = Testbed(seed=42, handling=mode)
+        result = testbed.run_scenario(scenario)
+        label = {"legacy": "Legacy modem/Android",
+                 "seed_u": "SEED-U (no root)",
+                 "seed_r": "SEED-R (root)"}[mode.value]
+        print(f"{label:24s} recovered={str(result.recovered):5s} "
+              f"disruption={result.duration:8.2f} s")
+        if mode.uses_seed:
+            applet = testbed.applet
+            diagnoses = [f"#{d.cause}" for _, d in applet.diagnoses]
+            actions = [a.name for _, a in applet.actions_taken]
+            print(f"{'':24s} SIM diagnosed {diagnoses} → actions {actions}")
+    print()
+    print("Legacy handling retries blindly with the stale DNN (T3580 16 s")
+    print("cycles, reattach, repeat) until the network side is fixed;")
+    print("SEED's SIM receives the cause + the correct DNN in-band and")
+    print("recycles the session with updated configuration in <1 s.")
+
+
+if __name__ == "__main__":
+    main()

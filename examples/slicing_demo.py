@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Network-slicing extension demo (paper §9).
+
+A device runs three slices — eMBB (internet), URLLC (edge), and mIoT
+(metering) — each on its own PDU session. A failure hits the URLLC
+slice; SEED resets *only* that slice's session while eMBB and mIoT
+traffic keeps flowing, the paper's §9 claim.
+
+Run:  python examples/slicing_demo.py
+"""
+
+from repro.core.slicing import SliceManager
+from repro.testbed import HandlingMode, Testbed
+
+
+def main() -> None:
+    tb = Testbed(seed=9, handling=HandlingMode.SEED_R)
+    tb.warm_up()
+    manager = SliceManager(tb.sim, tb.core, tb.device)
+    manager.provision()
+    tb.sim.run(until=tb.sim.now + 5.0)
+    print(f"slices up: {manager.active_slice_count()}/3 "
+          f"(bearers: {tb.core.gnb.bearer_count(tb.device.supi)})")
+
+    embb_established = tb.core.upf.sessions[tb.device.supi][1].established_at
+    registrations = []
+    tb.device.modem.on_registered.append(lambda: registrations.append(tb.sim.now))
+    print("\nURLLC slice failure injected → slice-scoped reset")
+    start = tb.sim.now
+    manager.reset_slice(2)
+    tb.sim.run(until=tb.sim.now + 10.0)
+
+    urllc = manager.slice_for_sst(2)
+    urllc_ctx = tb.core.upf.sessions[tb.device.supi][urllc.psi]
+    embb_ctx = tb.core.upf.sessions[tb.device.supi][1]
+    print(f"  URLLC recovered in {urllc_ctx.established_at - start:.2f} s "
+          f"(new session)")
+    print(f"  eMBB session untouched: established_at unchanged = "
+          f"{embb_ctx.established_at == embb_established}")
+    print(f"  re-registrations during reset: {len(registrations)}")
+    print("\nOnly the failed slice was recycled; the other slices (and")
+    print("the radio bearer) never noticed — §9's fine-grained handling.")
+
+
+if __name__ == "__main__":
+    main()

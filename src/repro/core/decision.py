@@ -1,0 +1,112 @@
+"""SIM-side handling decision function (paper Table 3).
+
+Given the parsed diagnosis and the current privilege mode, pick the
+reset action:
+
+| Diagnosis class                     | SEED-U            | SEED-R            |
+|-------------------------------------|-------------------|-------------------|
+| Control-plane cause                 | A1                | B1                |
+| Control-plane cause w/ config       | A2 & A1           | B2 with update    |
+| Data-plane cause                    | A1                | B3                |
+| Data-plane cause w/ config          | A3                | B3 modification   |
+| Data delivery (app/OS report)       | A3                | B3 reset/modify   |
+
+Plus the enhanced-management rows (§5.2): suggested actions are taken
+as-is (downgraded to the same tier without root), congestion warnings
+wait out the embedded timer, user-action causes become notifications,
+and unknown causes with no suggestion enter online learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.collaboration import DiagnosisInfo, DiagnosisKind
+from repro.core.reset import ResetAction, fallback_without_root
+from repro.nas.causes import CauseCategory, Plane, cause_info
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The applet's verdict for one diagnosis."""
+
+    action: ResetAction | None
+    config: dict
+    wait_before: float = 0.0      # SEED's 2 s transient-failure timer
+    online_learning: bool = False
+    notify_text: str = ""
+
+    @property
+    def is_notification(self) -> bool:
+        return self.action is ResetAction.NOTIFY_USER
+
+
+# Control-plane failures get a short grace timer so transient failures
+# that recover on their own are not delayed by a reset (§4.4.2: "SEED
+# sets a 2s timer before triggering hardware and control plane reset").
+CONTROL_PLANE_WAIT = 2.0
+
+
+def decide_action(info: DiagnosisInfo, rooted: bool) -> Decision:
+    """Map a diagnosis to a handling decision (Table 3)."""
+    if info.kind is DiagnosisKind.CONGESTION_WARNING:
+        return Decision(
+            action=ResetAction.WAIT_CONGESTION,
+            config={},
+            wait_before=info.backoff_seconds,
+        )
+
+    if info.kind is DiagnosisKind.HARDWARE_RESET_REQUEST:
+        action = ResetAction.B1_MODEM_RESET if rooted else ResetAction.A1_PROFILE_RELOAD
+        return Decision(action=action, config={}, wait_before=CONTROL_PLANE_WAIT)
+
+    if info.kind is DiagnosisKind.SUGGESTED_ACTION and info.suggested_action is not None:
+        action = info.suggested_action
+        if not rooted:
+            action = fallback_without_root(action)
+        wait = CONTROL_PLANE_WAIT if action.tier in ("hardware", "control_plane") else 0.0
+        return Decision(action=action, config=dict(info.config), wait_before=wait)
+
+    # CAUSE / CAUSE_WITH_CONFIG --------------------------------------------
+    registry_entry = cause_info(info.plane, info.cause)
+    if registry_entry.user_action:
+        return Decision(
+            action=ResetAction.NOTIFY_USER,
+            config={},
+            notify_text=f"Mobile service issue: {registry_entry.name}. "
+                        f"Please contact your carrier or check your plan.",
+        )
+
+    if registry_entry.category is CauseCategory.CONGESTION:
+        # Resetting into a congested cell/core adds load (§5.1); back
+        # off before recovering.
+        return Decision(
+            action=ResetAction.WAIT_CONGESTION,
+            config=dict(info.config),
+            wait_before=info.backoff_seconds or 5.0,
+        )
+
+    if info.customized and info.suggested_action is None:
+        # Unknown handling: Algorithm 1 takes over.
+        return Decision(action=None, config={}, online_learning=True)
+
+    has_config = info.kind is DiagnosisKind.CAUSE_WITH_CONFIG and bool(info.config)
+    if info.plane is Plane.CONTROL:
+        if has_config:
+            action = ResetAction.B2_CPLANE_REATTACH if rooted else ResetAction.A2_CPLANE_CONFIG_UPDATE
+        else:
+            action = ResetAction.B1_MODEM_RESET if rooted else ResetAction.A1_PROFILE_RELOAD
+        return Decision(action=action, config=dict(info.config), wait_before=CONTROL_PLANE_WAIT)
+
+    # Data plane ----------------------------------------------------------
+    if has_config:
+        action = ResetAction.B3_DPLANE_MODIFICATION if rooted else ResetAction.A3_DPLANE_CONFIG_UPDATE
+    else:
+        action = ResetAction.B3_DPLANE_RESET if rooted else ResetAction.A1_PROFILE_RELOAD
+    return Decision(action=action, config=dict(info.config))
+
+
+def decide_data_delivery(rooted: bool) -> Decision:
+    """Table 3 last row: app/OS-reported data delivery failures."""
+    action = ResetAction.B3_DPLANE_RESET if rooted else ResetAction.A3_DPLANE_CONFIG_UPDATE
+    return Decision(action=action, config={})

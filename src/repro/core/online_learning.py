@@ -1,0 +1,102 @@
+"""Collaborative online learning (paper §5.3, Algorithm 1).
+
+Two halves:
+
+* :class:`SimRecorder` — the SIM side (lines 1–7). On an unknown cause
+  it tries every supported reset sequentially (data plane → hardware),
+  records the first action that recovers the connection, and uploads
+  its record book over OTA when data service returns.
+* :class:`InfraLearner` — the infrastructure side (lines 8–17).
+  Crowdsources SIM records into ``NetRecord``; on later occurrences of
+  the same cause it suggests ``argmax(NetRecord[cause])``, gated by the
+  sigmoid exploration schedule ``rand() < 1/(1+exp(-lr*n))`` so the
+  model keeps evolving while confidence is low.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.reset import ResetAction, trial_order
+
+
+@dataclass
+class SimRecorder:
+    """SIM-side record book of successful handlings."""
+
+    rooted: bool = False
+    # SIMRecord[cause][action] -> success count (Algorithm 1 line 4)
+    records: dict[int, dict[ResetAction, int]] = field(default_factory=dict)
+    uploads: int = 0
+
+    def trial_sequence(self) -> tuple[ResetAction, ...]:
+        """Algorithm 1 line 2, filtered by privilege."""
+        return trial_order(self.rooted)
+
+    def record_success(self, cause: int, action: ResetAction) -> None:
+        per_cause = self.records.setdefault(cause, {})
+        per_cause[action] = per_cause.get(action, 0) + 1
+
+    def storage_bytes(self) -> int:
+        """Approximate persistent footprint (2 B cause + 1 B action +
+        2 B count per entry) — must stay tiny for SIM storage (§5.3)."""
+        return sum(5 * len(actions) for actions in self.records.values())
+
+    def flush(self, send: Callable[[dict[int, dict[ResetAction, int]]], bool]) -> bool:
+        """Algorithm 1 lines 6–7: upload and clear on success."""
+        if not self.records:
+            return True
+        if send(self.records):
+            self.records = {}
+            self.uploads += 1
+            return True
+        return False
+
+
+class InfraLearner:
+    """Infrastructure-side crowdsourcing and suggestion policy."""
+
+    def __init__(self, learning_rate: float = 0.05, rand: Callable[[], float] | None = None) -> None:
+        self.learning_rate = learning_rate
+        self._rand = rand or (lambda: 0.0)
+        # NetRecord[cause][action] -> aggregated success count (line 10)
+        self.net_record: dict[int, dict[ResetAction, int]] = {}
+        self.suggestions_sent = 0
+        self.explorations = 0
+
+    # -- line 8–10 ---------------------------------------------------------
+    def crowdsource(self, sim_record: dict[int, dict[ResetAction, int]]) -> None:
+        for cause, actions in sim_record.items():
+            per_cause = self.net_record.setdefault(cause, {})
+            for action, count in actions.items():
+                per_cause[action] = per_cause.get(action, 0) + count
+
+    # -- line 11–17 ----------------------------------------------------------
+    def suggest(self, cause: int) -> ResetAction | None:
+        """Suggestion for one device seeing ``cause`` (may be None)."""
+        per_cause = self.net_record.get(cause)
+        if not per_cause:
+            return None
+        best = max(per_cause.items(), key=lambda item: (item[1], -item[0].value))[0]
+        evidence = sum(per_cause.values())
+        gate = 1.0 / (1.0 + math.exp(-self.learning_rate * evidence))
+        if self._rand() < gate:
+            self.suggestions_sent += 1
+            return best
+        self.explorations += 1
+        return None
+
+    def confidence(self, cause: int) -> float:
+        per_cause = self.net_record.get(cause)
+        if not per_cause:
+            return 0.0
+        evidence = sum(per_cause.values())
+        return 1.0 / (1.0 + math.exp(-self.learning_rate * evidence))
+
+    def best_action(self, cause: int) -> ResetAction | None:
+        per_cause = self.net_record.get(cause)
+        if not per_cause:
+            return None
+        return max(per_cause.items(), key=lambda item: (item[1], -item[0].value))[0]

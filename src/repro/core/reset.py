@@ -1,0 +1,87 @@
+"""Multi-tier reset actions (paper Figure 5).
+
+Two action ladders, by privilege:
+
+* without root (SEED-U): A1 SIM profile reload, A2 control-plane
+  configuration update (+ reload), A3 data-plane configuration update;
+* with root (SEED-R): B1 modem reset, B2 control-plane reattachment,
+  B3 data-plane reset / modification.
+
+``ONLINE_LEARNING_ORDER`` is the sequential trial order of Algorithm 1
+line 2 — data plane first, hardware last — so unknown failures are
+probed with the cheapest reset first.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ResetAction(enum.Enum):
+    """One reset primitive; values are the wire codes used in
+    suggested-action assistance info and online-learning records."""
+
+    A1_PROFILE_RELOAD = 1
+    A2_CPLANE_CONFIG_UPDATE = 2
+    A3_DPLANE_CONFIG_UPDATE = 3
+    B1_MODEM_RESET = 4
+    B2_CPLANE_REATTACH = 5
+    B3_DPLANE_RESET = 6
+    B3_DPLANE_MODIFICATION = 7
+    NOTIFY_USER = 8
+    WAIT_CONGESTION = 9
+
+    @property
+    def requires_root(self) -> bool:
+        return self in (
+            ResetAction.B1_MODEM_RESET,
+            ResetAction.B2_CPLANE_REATTACH,
+            ResetAction.B3_DPLANE_RESET,
+            ResetAction.B3_DPLANE_MODIFICATION,
+        )
+
+    @property
+    def tier(self) -> str:
+        """Hardware / control-plane / data-plane tier (Figure 5 rows)."""
+        if self in (ResetAction.A1_PROFILE_RELOAD, ResetAction.B1_MODEM_RESET):
+            return "hardware"
+        if self in (ResetAction.A2_CPLANE_CONFIG_UPDATE, ResetAction.B2_CPLANE_REATTACH):
+            return "control_plane"
+        if self in (
+            ResetAction.A3_DPLANE_CONFIG_UPDATE,
+            ResetAction.B3_DPLANE_RESET,
+            ResetAction.B3_DPLANE_MODIFICATION,
+        ):
+            return "data_plane"
+        return "other"
+
+
+# Algorithm 1, line 2: trial order for unknown causes — "from the data
+# plane to the hardware".
+ONLINE_LEARNING_ORDER: tuple[ResetAction, ...] = (
+    ResetAction.B3_DPLANE_RESET,
+    ResetAction.A3_DPLANE_CONFIG_UPDATE,
+    ResetAction.B2_CPLANE_REATTACH,
+    ResetAction.A2_CPLANE_CONFIG_UPDATE,
+    ResetAction.B1_MODEM_RESET,
+    ResetAction.A1_PROFILE_RELOAD,
+)
+
+
+def trial_order(rooted: bool) -> tuple[ResetAction, ...]:
+    """Algorithm 1 trial ladder filtered by available privilege."""
+    if rooted:
+        return ONLINE_LEARNING_ORDER
+    return tuple(a for a in ONLINE_LEARNING_ORDER if not a.requires_root)
+
+
+def fallback_without_root(action: ResetAction) -> ResetAction:
+    """Map a root-required suggestion to its SEED-U equivalent tier."""
+    if not action.requires_root:
+        return action
+    return {
+        ResetAction.B1_MODEM_RESET: ResetAction.A1_PROFILE_RELOAD,
+        ResetAction.B2_CPLANE_REATTACH: ResetAction.A2_CPLANE_CONFIG_UPDATE,
+        ResetAction.B3_DPLANE_RESET: ResetAction.A3_DPLANE_CONFIG_UPDATE,
+        ResetAction.B3_DPLANE_MODIFICATION: ResetAction.A3_DPLANE_CONFIG_UPDATE,
+    }[action]

@@ -1,0 +1,27 @@
+"""Cryptographic primitives used by the SIM and the 5G core.
+
+The SEED collaboration channel (paper §4.5) protects its payloads with
+128-EEA2 (AES-128 in CTR mode) and 128-EIA2 (AES-128 CMAC) using the
+pre-shared in-SIM key; SIM↔network mutual authentication uses the
+Milenage function family (3GPP TS 35.205/206). All primitives are
+implemented here in pure Python and validated against published test
+vectors in the test suite.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.cmac import aes_cmac
+from repro.crypto.milenage import Milenage
+from repro.crypto.modes import aes_ctr_keystream, eea2_decrypt, eea2_encrypt
+from repro.crypto.secure_channel import IntegrityError, ReplayError, SecureChannel
+
+__all__ = [
+    "AES128",
+    "IntegrityError",
+    "Milenage",
+    "ReplayError",
+    "SecureChannel",
+    "aes_cmac",
+    "aes_ctr_keystream",
+    "eea2_decrypt",
+    "eea2_encrypt",
+]

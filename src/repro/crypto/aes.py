@@ -1,0 +1,189 @@
+"""Pure-Python AES-128 block cipher (FIPS 197).
+
+Only the 128-bit key size is implemented because 5G's 128-EEA2/EIA2 and
+Milenage all use AES-128. The implementation favours clarity over raw
+speed; throughput is ample for signaling-message payloads (tens of
+bytes per failure event).
+"""
+
+from __future__ import annotations
+
+# Round constants for the AES-128 key schedule.
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Compute the AES S-box and its inverse from first principles.
+
+    Deriving the table (multiplicative inverse in GF(2^8) followed by
+    the affine transform) avoids transcription errors in a hand-typed
+    256-entry constant and is checked against known vectors in tests.
+    """
+    # Build log/antilog tables for GF(2^8) with generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by generator 3 = x ^ (x << 1)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transform over GF(2).
+        transformed = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= b << bit
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (schoolbook; b is a small constant)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES with a fixed 16-byte key; encrypts/decrypts single blocks."""
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self._round_keys = self._expand_key(self.key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """Produce 11 round keys of 16 bytes each (as flat int lists)."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(11):
+            flat: list[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    # State helpers: the state is a flat list of 16 bytes, column-major
+    # per FIPS 197 (state[r + 4c]).
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[row:] + column_values[:row]
+            for col in range(4):
+                state[row + 4 * col] = shifted[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                state[row + 4 * col] = shifted[col]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base : base + 4]
+            state[base + 0] = _mul(a0, 2) ^ _mul(a1, 3) ^ a2 ^ a3
+            state[base + 1] = a0 ^ _mul(a1, 2) ^ _mul(a2, 3) ^ a3
+            state[base + 2] = a0 ^ a1 ^ _mul(a2, 2) ^ _mul(a3, 3)
+            state[base + 3] = _mul(a0, 3) ^ a1 ^ a2 ^ _mul(a3, 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base : base + 4]
+            state[base + 0] = _mul(a0, 14) ^ _mul(a1, 11) ^ _mul(a2, 13) ^ _mul(a3, 9)
+            state[base + 1] = _mul(a0, 9) ^ _mul(a1, 14) ^ _mul(a2, 11) ^ _mul(a3, 13)
+            state[base + 2] = _mul(a0, 13) ^ _mul(a1, 9) ^ _mul(a2, 14) ^ _mul(a3, 11)
+            state[base + 3] = _mul(a0, 11) ^ _mul(a1, 13) ^ _mul(a2, 9) ^ _mul(a3, 14)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, 10):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[10])
+        for r in range(9, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,67 @@
+"""AES-CMAC (NIST SP 800-38B / RFC 4493) and the 3GPP 128-EIA2 MAC.
+
+128-EIA2 (TS 33.401 B.2.3) computes AES-CMAC over the message prefixed
+with an 8-byte header of COUNT | BEARER | DIRECTION and returns the
+32-bit truncation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+
+_BLOCK = 16
+_RB = 0x87  # x^128 + x^7 + x^2 + x + 1 feedback constant
+
+
+def _left_shift_one(block: bytes) -> bytes:
+    value = int.from_bytes(block, "big") << 1
+    shifted = value & ((1 << 128) - 1)
+    if value >> 128:
+        shifted ^= _RB
+    return shifted.to_bytes(16, "big")
+
+
+def _generate_subkeys(cipher: AES128) -> tuple[bytes, bytes]:
+    l_value = cipher.encrypt_block(bytes(16))
+    k1 = _left_shift_one(l_value)
+    k2 = _left_shift_one(k1)
+    return k1, k2
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def aes_cmac(key: bytes, message: bytes) -> bytes:
+    """Full 16-byte AES-CMAC tag of ``message``."""
+    cipher = AES128(key)
+    k1, k2 = _generate_subkeys(cipher)
+
+    n_blocks = max(1, (len(message) + _BLOCK - 1) // _BLOCK)
+    complete_final = len(message) > 0 and len(message) % _BLOCK == 0
+
+    if complete_final:
+        final = _xor(message[-_BLOCK:], k1)
+    else:
+        remainder = message[(n_blocks - 1) * _BLOCK :]
+        padded = remainder + b"\x80" + bytes(_BLOCK - len(remainder) - 1)
+        final = _xor(padded, k2)
+
+    state = bytes(16)
+    for i in range(n_blocks - 1):
+        state = cipher.encrypt_block(_xor(state, message[i * _BLOCK : (i + 1) * _BLOCK]))
+    return cipher.encrypt_block(_xor(state, final))
+
+
+def eia2_mac(key: bytes, count: int, bearer: int, direction: int, message: bytes) -> bytes:
+    """128-EIA2: 32-bit MAC over a COUNT/BEARER/DIRECTION-prefixed message."""
+    if not 0 <= count < 2**32:
+        raise ValueError("COUNT must fit in 32 bits")
+    if not 0 <= bearer < 2**5:
+        raise ValueError("BEARER must fit in 5 bits")
+    if direction not in (0, 1):
+        raise ValueError("DIRECTION must be 0 or 1")
+    header = bytearray(8)
+    header[0:4] = count.to_bytes(4, "big")
+    header[4] = (bearer << 3) | (direction << 2)
+    return aes_cmac(key, bytes(header) + message)[:4]

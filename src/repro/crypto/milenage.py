@@ -1,0 +1,131 @@
+"""Milenage authentication function family (3GPP TS 35.205/35.206).
+
+The SIM and the core's subscriber database share the subscriber key K
+and operator constant OP (stored as OPc). AKA mutual authentication
+(which SEED piggybacks its downlink diagnosis channel on) uses:
+
+* f1  — network authentication code MAC-A (in AUTN)
+* f1* — resynchronisation code MAC-S
+* f2  — response RES
+* f3  — cipher key CK
+* f4  — integrity key IK
+* f5  — anonymity key AK (masks SQN in AUTN)
+* f5* — resynchronisation anonymity key
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _rotate(block: bytes, bits: int) -> bytes:
+    """Left-rotate a 128-bit block by ``bits`` (multiple of 8 in spec use)."""
+    value = int.from_bytes(block, "big")
+    rotated = ((value << bits) | (value >> (128 - bits))) & ((1 << 128) - 1)
+    return rotated.to_bytes(16, "big")
+
+
+class Milenage:
+    """Milenage keyed by (K, OP). Computes OPc internally."""
+
+    # Rotation/constant parameters from TS 35.206 §4.1 (default values).
+    _R = (64, 0, 32, 64, 96)
+    _C = (
+        bytes(16),
+        bytes(15) + b"\x01",
+        bytes(15) + b"\x02",
+        bytes(15) + b"\x04",
+        bytes(15) + b"\x08",
+    )
+
+    def __init__(self, k: bytes, op: bytes | None = None, opc: bytes | None = None) -> None:
+        if len(k) != 16:
+            raise ValueError("K must be 16 bytes")
+        self._cipher = AES128(k)
+        if opc is not None:
+            if len(opc) != 16:
+                raise ValueError("OPc must be 16 bytes")
+            self.opc = bytes(opc)
+        elif op is not None:
+            if len(op) != 16:
+                raise ValueError("OP must be 16 bytes")
+            self.opc = _xor(self._cipher.encrypt_block(op), op)
+        else:
+            raise ValueError("one of op/opc is required")
+
+    # ------------------------------------------------------------------
+    def _out_blocks(self, rand: bytes) -> tuple[bytes, bytes, bytes, bytes, bytes]:
+        """Compute OUT1..OUT5 for f1/f1* (OUT1) and f2..f5* (OUT2..5)."""
+        if len(rand) != 16:
+            raise ValueError("RAND must be 16 bytes")
+        temp = self._cipher.encrypt_block(_xor(rand, self.opc))
+        outs = []
+        for i in range(5):
+            if i == 0:
+                # OUT1 needs IN1 (SQN||AMF twice); computed in f1 itself.
+                outs.append(temp)
+                continue
+            rotated = _rotate(_xor(temp, self.opc), self._R[i])
+            out = _xor(self._cipher.encrypt_block(_xor(rotated, self._C[i])), self.opc)
+            outs.append(out)
+        return tuple(outs)  # type: ignore[return-value]
+
+    def f1(self, rand: bytes, sqn: bytes, amf: bytes) -> bytes:
+        """MAC-A (8 bytes)."""
+        return self._f1_common(rand, sqn, amf)[:8]
+
+    def f1_star(self, rand: bytes, sqn: bytes, amf: bytes) -> bytes:
+        """MAC-S (8 bytes) for resynchronisation."""
+        return self._f1_common(rand, sqn, amf)[8:]
+
+    def _f1_common(self, rand: bytes, sqn: bytes, amf: bytes) -> bytes:
+        if len(sqn) != 6 or len(amf) != 2:
+            raise ValueError("SQN must be 6 bytes and AMF 2 bytes")
+        temp = self._cipher.encrypt_block(_xor(rand, self.opc))
+        in1 = sqn + amf + sqn + amf
+        rotated = _rotate(_xor(in1, self.opc), self._R[0])
+        out1 = _xor(
+            self._cipher.encrypt_block(_xor(_xor(temp, rotated), self._C[0])), self.opc
+        )
+        return out1
+
+    def f2(self, rand: bytes) -> bytes:
+        """RES (8 bytes)."""
+        return self._out_blocks(rand)[1][8:]
+
+    def f3(self, rand: bytes) -> bytes:
+        """CK (16 bytes)."""
+        return self._out_blocks(rand)[2]
+
+    def f4(self, rand: bytes) -> bytes:
+        """IK (16 bytes)."""
+        return self._out_blocks(rand)[3]
+
+    def f5(self, rand: bytes) -> bytes:
+        """AK (6 bytes)."""
+        return self._out_blocks(rand)[1][:6]
+
+    def f5_star(self, rand: bytes) -> bytes:
+        """AK for resynchronisation (6 bytes)."""
+        return self._out_blocks(rand)[4][:6]
+
+    # ------------------------------------------------------------------
+    def generate_autn(self, rand: bytes, sqn: bytes, amf: bytes = b"\x80\x00") -> bytes:
+        """Build AUTN = (SQN xor AK) || AMF || MAC-A (16 bytes)."""
+        ak = self.f5(rand)
+        mac_a = self.f1(rand, sqn, amf)
+        return _xor(sqn, ak) + amf + mac_a
+
+    def verify_autn(self, rand: bytes, autn: bytes) -> tuple[bool, bytes]:
+        """SIM-side check of AUTN; returns (mac_ok, recovered_sqn)."""
+        if len(autn) != 16:
+            raise ValueError("AUTN must be 16 bytes")
+        ak = self.f5(rand)
+        sqn = _xor(autn[:6], ak)
+        amf = autn[6:8]
+        mac_a = autn[8:16]
+        return mac_a == self.f1(rand, sqn, amf), sqn

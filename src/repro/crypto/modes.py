@@ -1,0 +1,51 @@
+"""AES-CTR keystream and the 3GPP 128-EEA2 confidentiality algorithm.
+
+128-EEA2 (TS 33.401 B.1.3) is AES-128 in counter mode with a 128-bit
+initial counter block built from COUNT (32 bits), BEARER (5 bits) and
+DIRECTION (1 bit), the remaining 90 bits zero.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+
+
+def _counter_block(count: int, bearer: int, direction: int) -> bytes:
+    if not 0 <= count < 2**32:
+        raise ValueError("COUNT must fit in 32 bits")
+    if not 0 <= bearer < 2**5:
+        raise ValueError("BEARER must fit in 5 bits")
+    if direction not in (0, 1):
+        raise ValueError("DIRECTION must be 0 or 1")
+    block = bytearray(16)
+    block[0:4] = count.to_bytes(4, "big")
+    block[4] = (bearer << 3) | (direction << 2)
+    return bytes(block)
+
+
+def aes_ctr_keystream(cipher: AES128, initial_counter: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes from ``initial_counter``.
+
+    The counter is the full 128-bit block, incremented mod 2^128 per
+    block, matching both NIST SP 800-38A CTR and 3GPP usage.
+    """
+    if len(initial_counter) != 16:
+        raise ValueError("counter block must be 16 bytes")
+    counter = int.from_bytes(initial_counter, "big")
+    out = bytearray()
+    while len(out) < length:
+        out.extend(cipher.encrypt_block(counter.to_bytes(16, "big")))
+        counter = (counter + 1) % (1 << 128)
+    return bytes(out[:length])
+
+
+def eea2_encrypt(key: bytes, count: int, bearer: int, direction: int, plaintext: bytes) -> bytes:
+    """128-EEA2 encryption (XOR with the AES-CTR keystream)."""
+    cipher = AES128(key)
+    keystream = aes_ctr_keystream(cipher, _counter_block(count, bearer, direction), len(plaintext))
+    return bytes(p ^ k for p, k in zip(plaintext, keystream))
+
+
+def eea2_decrypt(key: bytes, count: int, bearer: int, direction: int, ciphertext: bytes) -> bytes:
+    """128-EEA2 decryption (CTR mode is symmetric)."""
+    return eea2_encrypt(key, count, bearer, direction, ciphertext)

@@ -1,0 +1,36 @@
+"""Device-side substrate: modem, Android OS model, apps, battery.
+
+The modem (:mod:`repro.device.modem`) implements the NAS state
+machines with the *legacy* timer-based retry handling the paper
+criticises (§3.2); the Android model (:mod:`repro.device.android`)
+implements timeout-based data-stall detection and the sequential-retry
+ladder (§3.3). Application traffic models (:mod:`repro.device.apps`)
+drive the workloads of Table 5, the battery model
+(:mod:`repro.device.battery`) reproduces Figure 11b, and
+:mod:`repro.device.device` assembles the full UE.
+"""
+
+from repro.device.at import AtCommand, AtError, parse_at
+from repro.device.android import AndroidOs, StallReason
+from repro.device.apps import App, AppProfile, APP_PROFILES
+from repro.device.battery import BatteryModel, PowerDraw
+from repro.device.carrier_host import CarrierHost
+from repro.device.device import Device
+from repro.device.modem import Modem, ModemLatencies
+
+__all__ = [
+    "APP_PROFILES",
+    "AndroidOs",
+    "App",
+    "AppProfile",
+    "AtCommand",
+    "AtError",
+    "BatteryModel",
+    "CarrierHost",
+    "Device",
+    "Modem",
+    "ModemLatencies",
+    "PowerDraw",
+    "StallReason",
+    "parse_at",
+]

@@ -1,0 +1,95 @@
+"""AT command set (3GPP TS 27.007 subset, paper Appendix B).
+
+SEED-R drives the modem through exactly the commands the paper lists:
+
+* ``AT+CFUN``     — modem functionality (reset)
+* ``AT+COPS``     — PLMN selection
+* ``AT+CGATT``    — control-plane attach/detach
+* ``AT+CGDCONT``  — PDP/PDU context (session) definition
+* ``AT+CGACT``    — data session activate/deactivate
+
+The parser accepts the standard ``AT+CMD=arg1,arg2`` / ``AT+CMD?``
+forms; the modem executes parsed commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AtError(ValueError):
+    """Malformed or unsupported AT command."""
+
+
+SUPPORTED_COMMANDS = ("CFUN", "COPS", "CGATT", "CGDCONT", "CGACT")
+
+
+@dataclass(frozen=True)
+class AtCommand:
+    """A parsed AT command."""
+
+    name: str                       # e.g. "CFUN"
+    query: bool = False             # AT+CMD?
+    args: tuple[str, ...] = field(default_factory=tuple)
+
+    def int_arg(self, index: int, default: int | None = None) -> int:
+        if index >= len(self.args) or self.args[index] == "":
+            if default is None:
+                raise AtError(f"+{self.name}: missing argument {index}")
+            return default
+        try:
+            return int(self.args[index])
+        except ValueError as exc:
+            raise AtError(f"+{self.name}: argument {index} not an integer") from exc
+
+    def str_arg(self, index: int, default: str | None = None) -> str:
+        if index >= len(self.args):
+            if default is None:
+                raise AtError(f"+{self.name}: missing argument {index}")
+            return default
+        return self.args[index].strip('"')
+
+
+def parse_at(line: str) -> AtCommand:
+    """Parse one AT command line."""
+    text = line.strip()
+    upper = text.upper()
+    if not upper.startswith("AT+"):
+        raise AtError(f"not an AT command: {line!r}")
+    body = text[3:]
+    if body.endswith("?"):
+        name = body[:-1].upper()
+        if name not in SUPPORTED_COMMANDS:
+            raise AtError(f"unsupported command +{name}")
+        return AtCommand(name=name, query=True)
+    if "=" in body:
+        name, _, arg_text = body.partition("=")
+        name = name.upper()
+        args = tuple(a.strip() for a in arg_text.split(","))
+    else:
+        name = body.upper()
+        args = ()
+    if name not in SUPPORTED_COMMANDS:
+        raise AtError(f"unsupported command +{name}")
+    return AtCommand(name=name, args=args)
+
+
+def cfun_reset() -> str:
+    """Full functionality reset with modem reboot."""
+    return "AT+CFUN=1,1"
+
+
+def cgatt(attach: bool) -> str:
+    return f"AT+CGATT={1 if attach else 0}"
+
+
+def cgact(activate: bool, psi: int) -> str:
+    return f"AT+CGACT={1 if activate else 0},{psi}"
+
+
+def cgdcont(psi: int, pdu_type: str, dnn: str) -> str:
+    return f'AT+CGDCONT={psi},"{pdu_type}","{dnn}"'
+
+
+def cops_select(plmn: str) -> str:
+    return f'AT+COPS=1,2,"{plmn}"'

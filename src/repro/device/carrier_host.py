@@ -1,0 +1,102 @@
+"""Privileged carrier-app host environment.
+
+Models the Android surfaces a carrier-privileged app gets (§6):
+
+* **UICC privilege API** — update carrier configurations (APN/DNN and
+  session type), which tears down and re-establishes the data
+  connection with the new settings (SEED's A3 action).
+* **TelephonyManager / APDU access** — exchange APDUs with the SIM.
+* **Connectivity Diagnostics API** — subscribe to OS data-stall events.
+* **Runtime API root detection** — when the device is rooted, the app
+  can shell out AT commands to the modem (enables SEED-R).
+
+The SEED carrier app (:mod:`repro.core.carrier_app`) is built on top of
+this host; the host itself is SEED-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.device.android import AndroidOs, StallEvent
+from repro.device.modem import Modem
+from repro.sim_card.apdu import Apdu, ApduResponse
+from repro.simkernel.simulator import Simulator
+
+
+class CarrierHost:
+    """The privileged execution environment for one carrier app."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        modem: Modem,
+        android: AndroidOs,
+        rooted: bool = False,
+        config_apply_latency: float = 0.35,
+    ) -> None:
+        self.sim = sim
+        self.modem = modem
+        self.android = android
+        self.rooted = rooted
+        self.config_apply_latency = config_apply_latency
+        self.config_updates: list[tuple[float, dict]] = []
+
+    # -- Runtime API -----------------------------------------------------
+    def detect_root(self) -> bool:
+        """Runtime.exec("su") probe (§6)."""
+        return self.rooted
+
+    # -- UICC privilege API ------------------------------------------------
+    def update_carrier_config(
+        self, psi: int, dnn: str | None = None, pdu_session_type: str | None = None
+    ) -> None:
+        """Apply new data-plane carrier configuration (SEED A3).
+
+        Mirrors Android's carrier-config path: the new APN/DNN settings
+        propagate after a short latency, then the data connection for
+        ``psi`` is recycled with the new parameters.
+        """
+        session = self.modem.sessions.get(psi)
+        current = self.modem.session_config_override.get(
+            psi,
+            (
+                session.pdu_session_type if session else self.modem.profile.pdu_session_type,
+                session.dnn if session else self.modem.profile.default_dnn,
+            ),
+        )
+        new_type = pdu_session_type if pdu_session_type is not None else current[0]
+        new_dnn = dnn if dnn is not None else current[1]
+        self.modem.session_config_override[psi] = (new_type, new_dnn)
+        self.config_updates.append(
+            (self.sim.now, {"psi": psi, "dnn": new_dnn, "pdu_session_type": new_type})
+        )
+        self.sim.schedule(
+            self.config_apply_latency, self._recycle_session, psi,
+            label="carrier:config-apply",
+        )
+
+    def _recycle_session(self, psi: int) -> None:
+        session = self.modem.sessions.get(psi)
+        if session is not None and session.active:
+            # Local teardown and re-setup with the new configuration;
+            # the network side releases on the new establishment.
+            session.active = False
+            fsm = self.modem._session_fsms.get(psi)
+            if fsm is not None:
+                fsm.reset()
+        self.modem.setup_session(psi)
+
+    # -- TelephonyManager APDU path -----------------------------------------
+    def transmit_apdu(self, aid: str, apdu: Apdu) -> ApduResponse:
+        return self.modem.transmit_to_applet(aid, apdu)
+
+    # -- Connectivity Diagnostics API ----------------------------------------
+    def subscribe_data_stall(self, listener: Callable[[StallEvent], None]) -> None:
+        self.android.stall_listeners.append(listener)
+
+    # -- Rooted AT access -----------------------------------------------------
+    def send_at(self, line: str) -> str:
+        if not self.rooted:
+            raise PermissionError("AT commands require root privilege")
+        return self.modem.execute_at(line)

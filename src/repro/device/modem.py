@@ -1,0 +1,716 @@
+"""Modem model: NAS protocol stack with legacy failure handling.
+
+Implements the behaviour the paper attributes to today's modem firmware
+(§2, §3.2):
+
+* registration with T3511 retry (10 s), five attempts, then the T3502
+  back-off (12 min) — "the timeout prolongs the disruption";
+* *blind* retry after rejects, re-using cached identity and
+  configuration — "the modem might keep on resending the signaling
+  message with outdated status, which causes repeated failures";
+* PDU session establishment with T3580 retries, then full reattach —
+  "the modem activates reattachment, but still uses the previous APN".
+
+It also provides the control surfaces SEED uses: the APDU/proactive
+path to the SIM (profile reload, CAT timers), and the AT command
+interface (+CFUN/+COPS/+CGATT/+CGDCONT/+CGACT) for SEED-R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.device import at as at_cmds
+from repro.infra.gnb import Gnb
+from repro.nas.causes import MM_CAUSES, Plane, SM_CAUSES
+from repro.nas.fsm import RegistrationFsm, SessionFsm, SmState
+from repro.nas.messages import (
+    AuthenticationFailure,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    DeregistrationRequest,
+    NasMessage,
+    PduSessionEstablishmentAccept,
+    PduSessionEstablishmentReject,
+    PduSessionEstablishmentRequest,
+    PduSessionModificationCommand,
+    PduSessionReleaseCommand,
+    PduSessionReleaseRequest,
+    RegistrationAccept,
+    RegistrationReject,
+)
+from repro.nas.timers import DEFAULT_TIMERS, StandardTimers
+from repro.sim_card.apdu import Apdu, Ins
+from repro.sim_card.applet_rt import AppletRuntime
+from repro.sim_card.proactive import ProactiveCommand, ProactiveKind, RefreshMode
+from repro.sim_card.usim import (
+    AUTH_TAG_MAC_FAILURE,
+    AUTH_TAG_RES,
+    AUTH_TAG_SYNC_FAILURE,
+    USIM_AID,
+    UsimApplet,
+)
+from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ModemLatencies:
+    """Device-side operation latencies (seconds).
+
+    Calibrated against the paper's Figure 13 reset micro-benchmarks:
+    profile reload ≈ 5.9 s, CFUN reboot+attach ≈ 3.3 s, CGATT reattach
+    ≈ 2.6 s, session activate ≈ 0.42 s end to end.
+    """
+
+    boot: float = 2.6                # modem power-cycle duration
+    profile_reload: float = 5.1      # SIM re-read + stack restart
+    file_refresh: float = 0.15       # re-read changed EFs only
+    detach: float = 0.12
+    reattach_prepare: float = 1.9    # CGATT=0/1 cycle internals
+    session_prepare: float = 0.12    # CGACT activation internals
+    config_apply: float = 0.35       # carrier-app config propagation
+    at_dispatch: float = 0.03        # per AT command handling
+    nas_send: float = 0.004          # per NAS message local processing
+    # After the gNB releases the last radio bearer the UE must
+    # re-acquire (cell search/RACH) before it can re-register — the
+    # cost the escort DIAG session avoids (Figure 6).
+    rrc_reacquire: float = 2.0
+
+
+@dataclass
+class ModemSession:
+    """Device-side view of one PDU session."""
+
+    psi: int
+    dnn: str
+    pdu_session_type: str
+    active: bool = False
+    ip_address: str = ""
+    dns_server: str = ""
+    tft: tuple[str, ...] = ()
+    attempts: int = 0
+    desired: bool = True
+
+
+class Modem:
+    """One UE's baseband: NAS stack + legacy retry machinery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gnb: Gnb,
+        card: AppletRuntime,
+        usim: UsimApplet,
+        timers: StandardTimers = DEFAULT_TIMERS,
+        latencies: ModemLatencies | None = None,
+    ) -> None:
+        self.sim = sim
+        self.gnb = gnb
+        self.card = card
+        self.usim = usim
+        self.timers = timers
+        self.lat = latencies or ModemLatencies()
+        self.supi = f"imsi-{usim.profile.imsi}"
+        self.profile = usim.profile
+        self.cached_guti: str | None = usim.profile.guti
+        self.reg_fsm = RegistrationFsm()
+        self.sessions: dict[int, ModemSession] = {}
+        self._session_fsms: dict[int, SessionFsm] = {}
+        self.powered = True
+        self.busy_until = 0.0
+        self.auto_recover = True        # legacy retry machinery on/off
+        self.auto_setup_session = True  # bring up default session on attach
+        self.registration_attempts = 0
+        self.reboots = 0
+        self._reg_guard = None
+        self._session_guards: dict[int, object] = {}
+        self._retry_event = None
+        self._cat_timers: dict[int, object] = {}
+        self._pending_setup: set[int] = set()
+        # Config overrides set via AT+CGDCONT / +COPS (survive reattach,
+        # cleared by reboot — they live in modem NVRAM).
+        self.session_config_override: dict[int, tuple[str, str]] = {}
+        self.plmn_override: str | None = None
+        self.tracking_area = 1
+        # Event hooks.
+        self.on_registered: list[Callable[[], None]] = []
+        self.on_registration_failed: list[Callable[[int | None], None]] = []
+        self.on_session_up: list[Callable[[int, ModemSession], None]] = []
+        self.on_session_down: list[Callable[[int], None]] = []
+        self.on_session_modified: list[Callable[[int, ModemSession], None]] = []
+        self.on_reject: list[Callable[[Plane, int], None]] = []
+        self.on_diag_ack: list[Callable[[int], None]] = []
+        self.on_display_text: list[Callable[[str], None]] = []
+        self.at_log: list[str] = []
+        gnb.attach_device(self.supi, self.receive_nas, self._on_rrc_release)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def registered(self) -> bool:
+        return self.reg_fsm.registered
+
+    def _fire(self, hooks: list, *args) -> None:
+        for hook in list(hooks):
+            hook(*args)
+
+    def _session_fsm(self, psi: int) -> SessionFsm:
+        fsm = self._session_fsms.get(psi)
+        if fsm is None:
+            fsm = SessionFsm()
+            self._session_fsms[psi] = fsm
+        return fsm
+
+    def _cancel(self, event) -> None:
+        if event is not None:
+            event.cancel()
+
+    def active_sessions(self) -> list[ModemSession]:
+        return [s for s in self.sessions.values() if s.active]
+
+    # ------------------------------------------------------------------
+    # Registration (with legacy retry)
+    # ------------------------------------------------------------------
+    def start_registration(self, fresh_identity: bool = False) -> None:
+        if not self.powered:
+            return
+        if self.sim.now < self.busy_until:
+            # Radio/stack busy (reboot, reload, re-acquisition): defer.
+            self.sim.schedule(self.busy_until - self.sim.now + 0.001,
+                              self.start_registration, fresh_identity,
+                              label="modem:reg-deferred")
+            return
+        if fresh_identity:
+            self.cached_guti = None
+        if not self.reg_fsm.can("registration_requested"):
+            return  # already mid-procedure
+        self.reg_fsm.feed("registration_requested")
+        self.registration_attempts += 1
+        plmn = self.plmn_override or self.profile.home_plmn
+        request = RegistrationRequest_build(
+            supi=self.supi,
+            guti=self.cached_guti,
+            plmn=plmn,
+            tracking_area=self.tracking_area,
+            capabilities=self.profile.supported_rats,
+            sst=self.profile.s_nssai_sst,
+        )
+        self.sim.schedule(self.lat.nas_send, self.gnb.uplink, self.supi, request,
+                          label="modem:reg-send")
+        self._cancel(self._reg_guard)
+        self._reg_guard = self.sim.schedule(
+            self.timers.t3511, self._on_registration_timeout, label="modem:t3511"
+        )
+
+    def _on_registration_timeout(self) -> None:
+        if self.reg_fsm.registered:
+            return
+        if self.reg_fsm.can("timeout"):
+            self.reg_fsm.feed("timeout")
+        self._fire(self.on_registration_failed, None)
+        if not self.auto_recover:
+            return
+        self._schedule_registration_retry()
+
+    def _schedule_registration_retry(self, delay: float | None = None) -> None:
+        if delay is None:
+            if self.registration_attempts >= self.timers.max_registration_attempts:
+                delay = self.timers.t3502
+                self.registration_attempts = 0
+            else:
+                delay = 0.0
+        self._cancel(self._retry_event)
+        self._retry_event = self.sim.schedule(
+            delay, self.start_registration, label="modem:reg-retry"
+        )
+
+    def _on_registration_accept(self, msg: RegistrationAccept) -> None:
+        self._cancel(self._reg_guard)
+        if self.reg_fsm.can("registration_accepted"):
+            self.reg_fsm.feed("registration_accepted")
+        self.cached_guti = msg.guti
+        self.registration_attempts = 0
+        # Persist the identity to the SIM (EF_LOCI) as real modems do.
+        self.usim.set_profile(self.usim.profile.with_updates(guti=msg.guti))
+        self._fire(self.on_registered)
+        if self.auto_setup_session:
+            self._restore_desired_sessions()
+
+    def _on_registration_reject(self, msg: RegistrationReject) -> None:
+        self._cancel(self._reg_guard)
+        if self.reg_fsm.can("registration_rejected"):
+            self.reg_fsm.feed("registration_rejected")
+        self._fire(self.on_reject, Plane.CONTROL, msg.cause)
+        self._fire(self.on_registration_failed, msg.cause)
+        info = MM_CAUSES.get(msg.cause)
+        if info is not None and info.user_action:
+            return  # dormant until user/SIM intervention
+        if not self.auto_recover:
+            return
+        # Blind retry with the same cached identity/config — the legacy
+        # flaw the paper documents (§3.2).
+        if self.registration_attempts >= self.timers.max_registration_attempts:
+            self._schedule_registration_retry(self.timers.t3502)
+            self.registration_attempts = 0
+        else:
+            self._schedule_registration_retry(self.timers.t3511)
+
+    # ------------------------------------------------------------------
+    # PDU sessions (with legacy retry)
+    # ------------------------------------------------------------------
+    def setup_session(
+        self,
+        psi: int = 1,
+        dnn: str | None = None,
+        pdu_session_type: str | None = None,
+        desired: bool = True,
+    ) -> None:
+        if not self.powered:
+            return
+        override = self.session_config_override.get(psi)
+        if dnn is None:
+            dnn = override[1] if override else self.profile.default_dnn
+        if pdu_session_type is None:
+            pdu_session_type = override[0] if override else self.profile.pdu_session_type
+        session = self.sessions.get(psi)
+        if session is None:
+            session = ModemSession(psi=psi, dnn=dnn, pdu_session_type=pdu_session_type)
+            self.sessions[psi] = session
+        else:
+            session.dnn = dnn
+            session.pdu_session_type = pdu_session_type
+        session.desired = desired
+        fsm = self._session_fsm(psi)
+        if fsm.state is SmState.INACTIVE_PENDING:
+            # A release is in flight; re-establish once it completes
+            # (the CGACT=0 / CGACT=1 cycle of the fast reset).
+            self._pending_setup.add(psi)
+            return
+        if session.active:
+            return
+        if not self.registered:
+            # Control plane must come up first; the session is restored
+            # from ``desired`` state once registration completes.
+            if self.reg_fsm.can("registration_requested"):
+                self.start_registration()
+            return
+        if not fsm.can("establishment_requested"):
+            return
+        fsm.feed("establishment_requested")
+        session.attempts += 1
+        request = PduSessionEstablishmentRequest(
+            pdu_session_id=psi,
+            dnn=session.dnn,
+            pdu_session_type=session.pdu_session_type,
+            s_nssai_sst=self.profile.s_nssai_sst,
+        )
+        self.sim.schedule(
+            self.lat.nas_send + self.lat.session_prepare,
+            self.gnb.uplink, self.supi, request, label="modem:pdu-send",
+        )
+        self._cancel(self._session_guards.get(psi))
+        self._session_guards[psi] = self.sim.schedule(
+            self.timers.t3580, self._on_session_timeout, psi, label="modem:t3580"
+        )
+
+    def send_diag_session_request(self, psi: int, dnn_raw: bytes) -> None:
+        """SEED uplink: establishment request with an opaque DNN."""
+        request = PduSessionEstablishmentRequest(
+            pdu_session_id=psi, dnn="DIAG", dnn_raw=dnn_raw,
+            pdu_session_type=self.profile.pdu_session_type,
+            s_nssai_sst=self.profile.s_nssai_sst,
+        )
+        self.sim.schedule(self.lat.nas_send, self.gnb.uplink, self.supi, request,
+                          label="modem:diag-send")
+
+    def _on_session_timeout(self, psi: int) -> None:
+        session = self.sessions.get(psi)
+        fsm = self._session_fsm(psi)
+        if session is None or session.active:
+            return
+        if fsm.can("timeout"):
+            fsm.feed("timeout")
+        if not self.auto_recover or not session.desired:
+            return
+        self._legacy_session_retry(psi)
+
+    def _legacy_session_retry(self, psi: int) -> None:
+        session = self.sessions[psi]
+        if session.attempts >= self.timers.max_session_attempts:
+            # Exhausted: full reattach, then retry with the *same*
+            # (possibly outdated) configuration — repeated failures.
+            session.attempts = 0
+            self.reattach()
+        else:
+            self.sim.schedule(
+                self.timers.t3580, self.setup_session, psi, label="modem:pdu-retry"
+            )
+
+    def _on_session_accept(self, msg: PduSessionEstablishmentAccept) -> None:
+        psi = msg.pdu_session_id
+        session = self.sessions.get(psi)
+        if session is None:
+            return
+        self._cancel(self._session_guards.get(psi))
+        fsm = self._session_fsm(psi)
+        if fsm.can("establishment_accepted"):
+            fsm.feed("establishment_accepted")
+        session.active = True
+        session.attempts = 0
+        session.ip_address = msg.ip_address
+        session.dns_server = msg.dns_server
+        self._fire(self.on_session_up, psi, session)
+
+    def _on_session_reject(self, msg: PduSessionEstablishmentReject) -> None:
+        if msg.is_ack:
+            # Reject-as-ACK for a SEED diagnosis request (Fig 7b).
+            self._fire(self.on_diag_ack, msg.pdu_session_id)
+            return
+        psi = msg.pdu_session_id
+        session = self.sessions.get(psi)
+        if session is None:
+            return
+        self._cancel(self._session_guards.get(psi))
+        fsm = self._session_fsm(psi)
+        if fsm.can("establishment_rejected"):
+            fsm.feed("establishment_rejected")
+        self._fire(self.on_reject, Plane.DATA, msg.cause)
+        info = SM_CAUSES.get(msg.cause)
+        if info is not None and info.user_action:
+            return
+        if not self.auto_recover or not session.desired:
+            return
+        self._legacy_session_retry(psi)
+
+    def release_session(self, psi: int, keep_desired: bool = False) -> None:
+        session = self.sessions.get(psi)
+        if session is None or not session.active:
+            return
+        if not keep_desired:
+            session.desired = False
+        fsm = self._session_fsm(psi)
+        if fsm.can("release_requested"):
+            fsm.feed("release_requested")
+        self.sim.schedule(
+            self.lat.nas_send, self.gnb.uplink, self.supi,
+            PduSessionReleaseRequest(pdu_session_id=psi), label="modem:rel-send",
+        )
+
+    def _on_release_command(self, msg: PduSessionReleaseCommand) -> None:
+        psi = msg.pdu_session_id
+        session = self.sessions.get(psi)
+        if session is None:
+            return
+        fsm = self._session_fsm(psi)
+        if fsm.can("release_completed"):
+            fsm.feed("release_completed")
+        elif fsm.can("network_released"):
+            fsm.feed("network_released")
+        was_active = session.active
+        session.active = False
+        session.ip_address = ""
+        if was_active:
+            self._fire(self.on_session_down, psi)
+        if psi in self._pending_setup:
+            self._pending_setup.discard(psi)
+            self.sim.schedule(0.01, self.setup_session, psi, label="modem:pending-setup")
+
+    def _on_modification_command(self, msg: PduSessionModificationCommand) -> None:
+        session = self.sessions.get(msg.pdu_session_id)
+        if session is None or not session.active:
+            return
+        if msg.new_tft:
+            session.tft = msg.new_tft
+        if msg.new_dns_server is not None:
+            session.dns_server = msg.new_dns_server
+        self._fire(self.on_session_modified, msg.pdu_session_id, session)
+
+    def _restore_desired_sessions(self) -> None:
+        desired = [s.psi for s in self.sessions.values() if s.desired and not s.active]
+        if not desired and not self.sessions:
+            desired = [1]
+        for psi in desired:
+            self.setup_session(psi)
+
+    # ------------------------------------------------------------------
+    # NAS downlink dispatch
+    # ------------------------------------------------------------------
+    def receive_nas(self, message: NasMessage) -> None:
+        if not self.powered or self.sim.now < self.busy_until:
+            return  # rebooting/reloading: downlink lost
+        if isinstance(message, AuthenticationRequest):
+            self._on_auth_request(message)
+        elif isinstance(message, RegistrationAccept):
+            self._on_registration_accept(message)
+        elif isinstance(message, RegistrationReject):
+            self._on_registration_reject(message)
+        elif isinstance(message, PduSessionEstablishmentAccept):
+            self._on_session_accept(message)
+        elif isinstance(message, PduSessionEstablishmentReject):
+            self._on_session_reject(message)
+        elif isinstance(message, PduSessionModificationCommand):
+            self._on_modification_command(message)
+        elif isinstance(message, PduSessionReleaseCommand):
+            self._on_release_command(message)
+
+    def _on_auth_request(self, msg: AuthenticationRequest) -> None:
+        """Forward the challenge to the SIM; relay its verdict."""
+        response = self.card.transmit(
+            USIM_AID, Apdu(cla=0x00, ins=Ins.AUTHENTICATE, data=msg.rand + msg.autn)
+        )
+        self._drain_proactive(response)
+        if not response.data:
+            return
+        tag, body = response.data[0], response.data[1:]
+        if tag == AUTH_TAG_RES:
+            reply: NasMessage = AuthenticationResponse(res=body)
+        elif tag == AUTH_TAG_SYNC_FAILURE:
+            reply = AuthenticationFailure(cause=21, auts=body)
+        elif tag == AUTH_TAG_MAC_FAILURE:
+            reply = AuthenticationFailure(cause=20)
+        else:
+            return
+        self.sim.schedule(self.lat.nas_send, self.gnb.uplink, self.supi, reply,
+                          label="modem:auth-reply")
+
+    # ------------------------------------------------------------------
+    # RRC / bearer events
+    # ------------------------------------------------------------------
+    def _on_rrc_release(self) -> None:
+        """gNB released the last radio bearer: back to square one.
+
+        The control plane must reattach before any new session — the
+        expensive path SEED's escort DIAG session avoids (Figure 6).
+        Re-acquisition (cell search/RACH) costs ``lat.rrc_reacquire``.
+        """
+        if self.reg_fsm.registered:
+            self.reg_fsm.reset()
+        # Losing the radio connection implicitly completes any release
+        # in flight; a queued re-establishment becomes a desired session
+        # to restore after the reattach.
+        for psi, fsm in self._session_fsms.items():
+            if fsm.state is SmState.INACTIVE_PENDING:
+                fsm.reset()
+                session = self.sessions.get(psi)
+                if session is not None:
+                    session.active = False
+                    session.ip_address = ""
+        for psi in list(self._pending_setup):
+            self._pending_setup.discard(psi)
+            session = self.sessions.get(psi)
+            if session is not None:
+                session.desired = True
+        self.busy_until = max(self.busy_until, self.sim.now + self.lat.rrc_reacquire)
+        self.sim.schedule(self.lat.rrc_reacquire, self._after_rrc_reacquire,
+                          label="modem:rrc-reacquire")
+
+    def _after_rrc_reacquire(self) -> None:
+        if self.reg_fsm.registered:
+            return
+        if any(s.desired for s in self.sessions.values()) or self._pending_setup:
+            self.start_registration()
+
+    # ------------------------------------------------------------------
+    # SIM interactions: proactive commands, envelopes
+    # ------------------------------------------------------------------
+    def transmit_to_applet(self, aid: str, apdu: Apdu):
+        """Send an APDU to a card applet and run any proactive fallout."""
+        response = self.card.transmit(aid, apdu)
+        self._drain_proactive(response)
+        return response
+
+    def poll_card(self) -> None:
+        """STATUS poll (TS 102 223 §4.4): fetch pending proactive
+        commands. Terminals poll periodically; in the simulation the
+        queue is drained after every APDU exchange, so this is only
+        needed when an applet queues commands out-of-band (tests and
+        experiment drivers)."""
+        self._drain_proactive(None)
+
+    def _drain_proactive(self, response) -> None:
+        while True:
+            command = self.card.fetch()
+            if command is None:
+                return
+            self._execute_proactive(command)
+
+    def _execute_proactive(self, command: ProactiveCommand) -> None:
+        if command.kind is ProactiveKind.REFRESH:
+            mode = RefreshMode(command.qualifier)
+            if mode in (RefreshMode.UICC_RESET, RefreshMode.NAA_APPLICATION_RESET,
+                        RefreshMode.NAA_INIT, RefreshMode.NAA_INIT_AND_FULL_FILE_CHANGE):
+                self.profile_reload()
+            else:
+                self._refresh_files()
+        elif command.kind is ProactiveKind.TIMER_MANAGEMENT:
+            timer_id = int(command.meta.get("timer_id", command.text.split(":")[0]))
+            duration = float(command.meta.get("duration", command.text.split(":")[1]))
+            # Starting a timer that is already running restarts it
+            # (TS 102 223 §6.4.27): cancel the stale expiration first.
+            self._cancel(self._cat_timers.get(timer_id))
+            self._cat_timers[timer_id] = self.sim.schedule(
+                duration, self._cat_timer_expired, timer_id, label="modem:cat-timer"
+            )
+        elif command.kind is ProactiveKind.DISPLAY_TEXT:
+            self._fire(self.on_display_text, command.text)
+        elif command.kind is ProactiveKind.SEND_AT_COMMAND:
+            # Only IoT-class modems expose this (paper §9); smartphones
+            # route AT commands through the rooted carrier app instead.
+            self.execute_at(command.text)
+
+    def _cat_timer_expired(self, timer_id: int) -> None:
+        self._cat_timers.pop(timer_id, None)
+        for aid in list(self.card.applets):
+            if aid == USIM_AID:
+                continue
+            self.transmit_to_applet(
+                aid,
+                Apdu(cla=0x80, ins=Ins.ENVELOPE, p1=0x01, data=bytes([timer_id & 0xFF])),
+            )
+
+    def _refresh_files(self) -> None:
+        """Re-read changed EFs (REFRESH file-change mode): cheap."""
+        self.busy_until = self.sim.now + self.lat.file_refresh
+        self.sim.schedule(self.lat.file_refresh, self._reload_profile_fields,
+                          label="modem:file-refresh")
+
+    def _reload_profile_fields(self) -> None:
+        self.profile = self.usim.profile
+        self.cached_guti = self.profile.guti
+
+    # ------------------------------------------------------------------
+    # Multi-tier reset primitives
+    # ------------------------------------------------------------------
+    def profile_reload(self) -> None:
+        """A1: full SIM profile reload, then fresh registration."""
+        self._abort_all_procedures()
+        self.busy_until = self.sim.now + self.lat.profile_reload
+        self.sim.schedule(self.lat.profile_reload, self._finish_profile_reload,
+                          label="modem:profile-reload")
+
+    def _finish_profile_reload(self) -> None:
+        self.profile = self.usim.profile
+        self.cached_guti = self.profile.guti
+        self.registration_attempts = 0
+        self.start_registration()
+
+    def reboot(self) -> None:
+        """B1 (AT+CFUN=1,1): power-cycle; volatile caches cleared."""
+        self.reboots += 1
+        self._abort_all_procedures()
+        self.session_config_override.clear()
+        self.plmn_override = None
+        self.busy_until = self.sim.now + self.lat.boot
+        self.sim.schedule(self.lat.boot, self._finish_reboot, label="modem:reboot")
+
+    def _finish_reboot(self) -> None:
+        self.profile = self.usim.profile
+        # Fresh boot does not trust a stale persisted GUTI after a
+        # failure-triggered reset: attach with the permanent identity.
+        self.cached_guti = None
+        self.registration_attempts = 0
+        self.start_registration()
+
+    def reattach(self) -> None:
+        """B2 (AT+CGATT=0 then 1): detach and re-register."""
+        self._abort_all_procedures()
+        self.busy_until = self.sim.now + self.lat.reattach_prepare
+        self.sim.schedule(self.lat.detach, self.gnb.uplink, self.supi,
+                          DeregistrationRequest(supi=self.supi), label="modem:detach")
+        self.sim.schedule(self.lat.reattach_prepare, self._finish_reattach,
+                          label="modem:reattach")
+
+    def _finish_reattach(self) -> None:
+        self.profile = self.usim.profile
+        self.cached_guti = self.profile.guti
+        self.registration_attempts = 0
+        self.start_registration()
+
+    def _abort_all_procedures(self) -> None:
+        self._cancel(self._reg_guard)
+        self._cancel(self._retry_event)
+        for guard in self._session_guards.values():
+            self._cancel(guard)
+        self._session_guards.clear()
+        if self.reg_fsm.state is not self.reg_fsm.INITIAL:
+            self.reg_fsm.reset()
+        for psi, session in self.sessions.items():
+            was_active = session.active
+            session.active = False
+            session.ip_address = ""
+            fsm = self._session_fsms.get(psi)
+            if fsm is not None:
+                fsm.reset()
+            if was_active:
+                self._fire(self.on_session_down, psi)
+
+    # ------------------------------------------------------------------
+    # AT command interface (SEED-R path)
+    # ------------------------------------------------------------------
+    def execute_at(self, line: str) -> str:
+        """Execute one AT command; returns "OK" or "ERROR: ...".
+
+        Dispatch cost is ``lat.at_dispatch``; the operations themselves
+        take their modeled durations asynchronously.
+        """
+        self.at_log.append(line)
+        try:
+            command = at_cmds.parse_at(line)
+        except at_cmds.AtError as exc:
+            return f"ERROR: {exc}"
+        if command.name == "CFUN":
+            if command.query:
+                return "+CFUN: 1" if self.powered else "+CFUN: 0"
+            self.sim.schedule(self.lat.at_dispatch, self.reboot, label="at:cfun")
+            return "OK"
+        if command.name == "CGATT":
+            if command.query:
+                return f"+CGATT: {1 if self.registered else 0}"
+            if command.int_arg(0) == 1:
+                self.sim.schedule(self.lat.at_dispatch, self.reattach, label="at:cgatt1")
+            else:
+                self.sim.schedule(self.lat.at_dispatch, self._detach_only, label="at:cgatt0")
+            return "OK"
+        if command.name == "CGDCONT":
+            psi = command.int_arg(0)
+            pdu_type = command.str_arg(1, "IPv4")
+            dnn = command.str_arg(2, self.profile.default_dnn)
+            self.session_config_override[psi] = (pdu_type, dnn)
+            return "OK"
+        if command.name == "CGACT":
+            activate = command.int_arg(0) == 1
+            psi = command.int_arg(1, 1)
+            if activate:
+                self.sim.schedule(self.lat.at_dispatch, self.setup_session, psi,
+                                  label="at:cgact1")
+            else:
+                self.sim.schedule(self.lat.at_dispatch, self.release_session, psi,
+                                  label="at:cgact0")
+            return "OK"
+        if command.name == "COPS":
+            if command.query:
+                return f'+COPS: 0,2,"{self.plmn_override or self.profile.home_plmn}"'
+            self.plmn_override = command.str_arg(2)
+            return "OK"
+        return "ERROR: unsupported"
+
+    def _detach_only(self) -> None:
+        self._abort_all_procedures()
+        self.sim.schedule(self.lat.detach, self.gnb.uplink, self.supi,
+                          DeregistrationRequest(supi=self.supi), label="modem:detach")
+
+
+def RegistrationRequest_build(supi, guti, plmn, tracking_area, capabilities, sst=1):
+    """Build a registration request (kept separate for test stubbing)."""
+    from repro.nas.messages import RegistrationRequest
+
+    return RegistrationRequest(
+        supi=supi,
+        guti=guti,
+        requested_plmn=plmn,
+        tracking_area=tracking_area,
+        capabilities=tuple(capabilities),
+        requested_sst=sst,
+    )

@@ -1,0 +1,53 @@
+"""One runner per paper table/figure (the evaluation of §3 and §7).
+
+Every module exposes a ``run(...)`` returning a structured result and a
+``render(result)`` producing the paper-style text table. Benchmarks
+call ``run`` with full sizes; tests call it with reduced sizes.
+
+| Module              | Paper artifact                                    |
+|---------------------|---------------------------------------------------|
+| ``table1``          | Table 1 — top failure causes per plane            |
+| ``figure2``         | Figure 2 — legacy disruption CDF                  |
+| ``figure3``         | Figure 3 — Android detection latency              |
+| ``table2``          | Table 2 — solution comparison matrix              |
+| ``table4``          | Table 4 — disruption percentiles (3×3)            |
+| ``table5``          | Table 5 — per-app average disruption              |
+| ``figure11a``       | Figure 11a — core CPU overhead                    |
+| ``figure11b``       | Figure 11b — device battery overhead              |
+| ``figure12``        | Figure 12 — SIM↔infra collaboration latency       |
+| ``figure13``        | Figure 13 — multi-tier reset recovery time        |
+| ``online_learning`` | §7.2.4 — online-learning validation               |
+| ``coverage``        | §7.1.1 — fraction of failures SEED handles        |
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    coverage,
+    figure2,
+    figure3,
+    figure11a,
+    figure11b,
+    figure12,
+    figure13,
+    online_learning,
+    table1,
+    table2,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "ablations",
+    "coverage",
+    "figure2",
+    "figure3",
+    "figure11a",
+    "figure11b",
+    "figure12",
+    "figure13",
+    "online_learning",
+    "table1",
+    "table2",
+    "table4",
+    "table5",
+]

@@ -1,0 +1,61 @@
+"""Figure 2: disruption-time CDF with existing modem handling.
+
+The paper computes this from the trace corpus (§3.2 "we measure the
+disruption time with the existing modem handling scheme using traces in
+§3.1"); we do the same over the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.tables import format_table
+from repro.traces.generator import CorpusConfig, TraceGenerator
+from repro.traces.stats import analyze
+
+# Paper reference points.
+PAPER_CP_MEDIAN = 12.4
+PAPER_CP_WITHIN_2S = 0.19
+PAPER_CP_WITHIN_10S = 0.27
+PAPER_DP_WITHIN_10S = 0.09
+PAPER_DP_MEDIAN_APPROX = 480.0  # "about 8 minutes"
+
+
+@dataclass
+class Figure2Result:
+    control: Cdf
+    data: Cdf
+
+
+def run(procedures: int = 24_000, seed: int = 2022) -> Figure2Result:
+    corpus = TraceGenerator(CorpusConfig(procedures=procedures, seed=seed)).generate()
+    stats = analyze(corpus)
+    return Figure2Result(control=Cdf(stats.cp_disruptions), data=Cdf(stats.dp_disruptions))
+
+
+def render(result: Figure2Result) -> str:
+    rows = []
+    for name, cdf, paper_median in (
+        ("Control plane", result.control, PAPER_CP_MEDIAN),
+        ("Data plane", result.data, PAPER_DP_MEDIAN_APPROX),
+    ):
+        rows.append([
+            name,
+            f"{cdf.fraction_below(2.0) * 100:.0f}%",
+            f"{cdf.fraction_below(10.0) * 100:.0f}%",
+            f"{cdf.median:.1f}",
+            f"{cdf.p90:.1f}",
+            f"{paper_median:.1f}",
+        ])
+    lines = [format_table(
+        ["Plane", "≤2s", "≤10s", "Median (s)", "P90 (s)", "Paper median (s)"],
+        rows, title="Figure 2 — legacy modem handling disruption CDF",
+    )]
+    lines.append("\nCDF series (control plane):")
+    for value, q in result.control.points(10):
+        lines.append(f"  {q:4.0%}  {value:10.1f} s")
+    lines.append("CDF series (data plane):")
+    for value, q in result.data.points(10):
+        lines.append(f"  {q:4.0%}  {value:10.1f} s")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Table 1: top-5 failure causes in control/data-plane management."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.traces.generator import CorpusConfig, TraceGenerator
+from repro.traces.stats import CorpusStats, analyze
+
+# The paper's Table 1 reference values (share of all failures).
+PAPER_TOP5 = {
+    "control": [(9, 0.152), (15, 0.126), (11, 0.103), (40, 0.075), (98, 0.028)],
+    "data": [(33, 0.079), (96, 0.059), (29, 0.047), (31, 0.026), (26, 0.019)],
+}
+PAPER_CONTROL_SHARE = 0.562
+PAPER_FAILURES = 2832
+PAPER_PROCEDURES = 24_000
+
+
+@dataclass
+class Table1Result:
+    stats: CorpusStats
+
+
+def run(procedures: int = PAPER_PROCEDURES, seed: int = 2022) -> Table1Result:
+    """Generate the corpus and compute the Table 1 statistics."""
+    generator = TraceGenerator(CorpusConfig(procedures=procedures, seed=seed))
+    corpus = generator.generate()
+    return Table1Result(stats=analyze(corpus))
+
+
+def render(result: Table1Result) -> str:
+    stats = result.stats
+    rows = []
+    for plane, label in (("control", "Control Plane"), ("data", "Data Plane")):
+        for share in stats.top_causes(plane, 5):
+            rows.append([label, f"#{share.cause}", share.name,
+                         f"{share.share_of_failures * 100:.1f}%"])
+    header = (
+        f"Corpus: {stats.procedures} procedures, {stats.failures} failures "
+        f"({stats.failure_ratio * 100:.1f}%), control plane "
+        f"{stats.control_share * 100:.1f}% vs data plane "
+        f"{stats.data_share * 100:.1f}%\n"
+    )
+    return header + format_table(
+        ["Class", "Cause", "Name", "Share of failures"], rows,
+        title="Table 1 — top 5 failure causes per plane",
+    )

@@ -1,0 +1,38 @@
+"""Table 2: qualitative comparison of failure-handling solutions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.solutions import (
+    SOLUTION_MATRIX,
+    SolutionCapability,
+    verify_seed_row_against_implementation,
+)
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class Table2Result:
+    matrix: tuple[SolutionCapability, ...]
+    seed_claims: dict[str, bool]
+
+
+def run() -> Table2Result:
+    return Table2Result(
+        matrix=SOLUTION_MATRIX,
+        seed_claims=verify_seed_row_against_implementation(),
+    )
+
+
+def render(result: Table2Result) -> str:
+    table = format_table(
+        ["Solution", "Detection & diagnosis", "Config-related recovery",
+         "Non-config recovery", "User-action recovery"],
+        [cap.as_row() for cap in result.matrix],
+        title="Table 2 — solution comparison",
+    )
+    checks = "\n".join(
+        f"  [{'x' if ok else ' '}] {claim}" for claim, ok in result.seed_claims.items()
+    )
+    return f"{table}\n\nSEED row verified against implementation:\n{checks}"

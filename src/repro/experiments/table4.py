@@ -1,0 +1,110 @@
+"""Table 4: disruption percentiles — legacy vs SEED-U vs SEED-R.
+
+Replays the class scenario mixes on the testbed under each handling
+mode and reports median / 90th-percentile disruption, the paper's
+headline result (§7.1.1).
+
+Data-delivery rows use the paper's methodology: timing is measured on
+reconnection-recoverable failures with the recommended Android ladder
+(21/6/16 s from [35]) as the baseline; blocking failures are validated
+separately via the report channel (see the coverage experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import percentile
+from repro.analysis.tables import format_table
+from repro.device.android import AndroidTimers
+from repro.infra.failures import FailureClass
+from repro.testbed.harness import HandlingMode, Testbed, run_suite, timed_durations
+from repro.testbed.scenarios import SCN_DD_GATEWAY
+
+# Table 4 paper values: (median, p90) per (class, handling).
+PAPER = {
+    (FailureClass.CONTROL_PLANE, HandlingMode.LEGACY): (12.4, 1024.0),
+    (FailureClass.CONTROL_PLANE, HandlingMode.SEED_U): (8.0, 76.7),
+    (FailureClass.CONTROL_PLANE, HandlingMode.SEED_R): (4.4, 48.6),
+    (FailureClass.DATA_PLANE, HandlingMode.LEGACY): (476.0, 2659.4),
+    (FailureClass.DATA_PLANE, HandlingMode.SEED_U): (0.9, 1.0),
+    (FailureClass.DATA_PLANE, HandlingMode.SEED_R): (0.6, 0.7),
+    (FailureClass.DATA_DELIVERY, HandlingMode.LEGACY): (31.2, 45.7),
+    (FailureClass.DATA_DELIVERY, HandlingMode.SEED_U): (1.1, 1.3),
+    (FailureClass.DATA_DELIVERY, HandlingMode.SEED_R): (0.4, 0.7),
+}
+
+DD_ANDROID_TIMERS = AndroidTimers(
+    validation_interval=10.0, probe_failures_needed=1,
+    evaluation_interval=10.0, ladder=(21.0, 6.0, 16.0),
+)
+
+
+@dataclass
+class Cell:
+    median: float
+    p90: float
+    samples: int
+
+
+@dataclass
+class Table4Result:
+    cells: dict[tuple[FailureClass, HandlingMode], Cell] = field(default_factory=dict)
+
+
+def _dd_durations(handling: HandlingMode, runs: int, seed: int) -> list[float]:
+    durations = []
+    for index in range(runs):
+        tb = Testbed(seed=seed + index, handling=handling,
+                     android_timers=DD_ANDROID_TIMERS)
+        result = tb.run_scenario(SCN_DD_GATEWAY)
+        durations.append(result.duration)
+    return durations
+
+
+def run(runs: int = 40, seed: int = 4000) -> Table4Result:
+    result = Table4Result()
+    for failure_class in (FailureClass.CONTROL_PLANE, FailureClass.DATA_PLANE):
+        for handling in HandlingMode:
+            suite = run_suite(failure_class, handling, runs=runs, seed=seed)
+            durations = timed_durations(suite)
+            result.cells[(failure_class, handling)] = Cell(
+                median=percentile(durations, 50),
+                p90=percentile(durations, 90),
+                samples=len(durations),
+            )
+    for handling in HandlingMode:
+        durations = _dd_durations(handling, max(6, runs // 4), seed)
+        result.cells[(FailureClass.DATA_DELIVERY, handling)] = Cell(
+            median=percentile(durations, 50),
+            p90=percentile(durations, 90),
+            samples=len(durations),
+        )
+    return result
+
+
+def render(result: Table4Result) -> str:
+    rows = []
+    labels = {
+        FailureClass.CONTROL_PLANE: "Control Plane",
+        FailureClass.DATA_PLANE: "Data Plane",
+        FailureClass.DATA_DELIVERY: "Data Delivery",
+    }
+    mode_labels = {
+        HandlingMode.LEGACY: "Legacy", HandlingMode.SEED_U: "SEED-U",
+        HandlingMode.SEED_R: "SEED-R",
+    }
+    for failure_class in labels:
+        for handling in HandlingMode:
+            cell = result.cells[(failure_class, handling)]
+            paper_median, paper_p90 = PAPER[(failure_class, handling)]
+            rows.append([
+                labels[failure_class], mode_labels[handling],
+                f"{cell.median:.1f}", f"{cell.p90:.1f}",
+                f"{paper_median:.1f}", f"{paper_p90:.1f}", cell.samples,
+            ])
+    return format_table(
+        ["Failures", "Handling", "Median (s)", "90th (s)",
+         "Paper median", "Paper 90th", "n"],
+        rows, title="Table 4 — disruption percentiles, legacy vs SEED",
+    )

@@ -1,0 +1,50 @@
+"""5G infrastructure substrate: gNB, core network functions, user plane.
+
+The core is Magma-flavoured (the paper's testbed): an access node
+(:mod:`repro.infra.gnb`), mobility management
+(:mod:`repro.infra.amf`), session management (:mod:`repro.infra.smf`),
+user plane with blocking rules (:mod:`repro.infra.upf`), a subscriber
+database (:mod:`repro.infra.subscriber_db`), the authoritative
+configuration store (:mod:`repro.infra.config_store`), monitoring
+(:mod:`repro.infra.nms`), a CPU cost model (:mod:`repro.infra.cpu`),
+and the failure-injection engine (:mod:`repro.infra.failures`) that
+reproduces the failure classes of the paper's trace study.
+"""
+
+from repro.infra.amf import Amf
+from repro.infra.config_store import ConfigStore, NetworkConfig
+from repro.infra.core_network import CoreNetwork
+from repro.infra.cpu import CpuModel
+from repro.infra.failures import (
+    ActiveFailure,
+    ClearTrigger,
+    FailureClass,
+    FailureEngine,
+    FailureSpec,
+)
+from repro.infra.gnb import Gnb, RadioLink
+from repro.infra.nms import Nms
+from repro.infra.smf import Smf
+from repro.infra.subscriber_db import SubscriberDb, SubscriberRecord
+from repro.infra.upf import BlockRule, Upf
+
+__all__ = [
+    "ActiveFailure",
+    "Amf",
+    "BlockRule",
+    "ClearTrigger",
+    "ConfigStore",
+    "CoreNetwork",
+    "CpuModel",
+    "FailureClass",
+    "FailureEngine",
+    "FailureSpec",
+    "Gnb",
+    "NetworkConfig",
+    "Nms",
+    "RadioLink",
+    "Smf",
+    "SubscriberDb",
+    "SubscriberRecord",
+    "Upf",
+]

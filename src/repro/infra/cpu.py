@@ -1,0 +1,84 @@
+"""Core-network CPU utilization model (Figure 11a substrate).
+
+The paper measures average CPU utilization of the Magma core under 200
+emulated UEs doing random attach/detach while failure events are
+injected at 0–100 events/s; SEED adds ≤4.7 percentage points at the
+100/s stress point. We model utilization as::
+
+    util = base + procedure_rate * cost_procedure
+                + failure_rate  * cost_failure_baseline
+                + failure_rate  * cost_seed_diagnosis   (iff SEED attached)
+
+with per-event costs calibrated so the no-SEED curve spans roughly the
+paper's 30→45 % band and the SEED delta stays under 5 points. The
+*claim* the figure makes — diagnosis cost grows linearly and stays
+marginal because the decision tree is cheap — is preserved
+structurally: `cost_seed_diagnosis` is derived from the decision-tree
+node count, not hand-picked per rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CpuCosts:
+    """Per-event CPU cost in percentage points per (event/second)."""
+
+    base_utilization: float = 30.0
+    per_procedure: float = 0.012       # attach/detach NAS processing
+    per_failure_baseline: float = 0.10  # reject path without SEED
+    # SEED diagnosis: decision-tree walk + assistance-info compose/seal.
+    decision_tree_nodes: int = 12
+    per_tree_node: float = 0.002
+    per_seal: float = 0.020
+
+    @property
+    def per_seed_diagnosis(self) -> float:
+        return self.decision_tree_nodes * self.per_tree_node + self.per_seal
+
+
+class CpuModel:
+    """Accumulates event counts and reports utilization percentages."""
+
+    def __init__(self, costs: CpuCosts | None = None, seed_enabled: bool = False) -> None:
+        self.costs = costs or CpuCosts()
+        self.seed_enabled = seed_enabled
+        self.procedure_events = 0
+        self.failure_events = 0
+        self.seed_diagnosis_events = 0
+
+    def note_procedure(self, count: int = 1) -> None:
+        self.procedure_events += count
+
+    def note_failure(self, count: int = 1) -> None:
+        self.failure_events += count
+
+    def note_seed_diagnosis(self, count: int = 1) -> None:
+        self.seed_diagnosis_events += count
+
+    def utilization(self, duration: float) -> float:
+        """Average CPU % over an interval of ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        c = self.costs
+        util = (
+            c.base_utilization
+            + (self.procedure_events / duration) * c.per_procedure
+            + (self.failure_events / duration) * c.per_failure_baseline
+        )
+        if self.seed_enabled:
+            util += (self.seed_diagnosis_events / duration) * c.per_seed_diagnosis
+        return min(100.0, util)
+
+    def seed_overhead(self, duration: float) -> float:
+        """Extra percentage points attributable to SEED."""
+        if not self.seed_enabled:
+            return 0.0
+        return (self.seed_diagnosis_events / duration) * self.costs.per_seed_diagnosis
+
+    def reset(self) -> None:
+        self.procedure_events = 0
+        self.failure_events = 0
+        self.seed_diagnosis_events = 0

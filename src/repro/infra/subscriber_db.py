@@ -1,0 +1,98 @@
+"""Subscriber database (UDM/HSS role): identities, keys, subscriptions.
+
+Holds the network-side half of each SIM's credentials (K, OPc) for
+Milenage authentication, the GUTI↔SUPI mapping whose desynchronisation
+causes the #1 control-plane failure in the trace study ("UE identity
+cannot be derived by the network", 15.2%), and subscription state
+(active / expired) driving user-action-required failures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.crypto.milenage import Milenage
+
+
+class SubscriberError(KeyError):
+    """Unknown subscriber or identity."""
+
+
+@dataclass
+class SubscriberRecord:
+    supi: str
+    k: bytes
+    opc: bytes
+    subscribed_dnns: tuple[str, ...] = ("internet",)
+    subscription_active: bool = True
+    sqn: int = 0
+    current_guti: str | None = None
+
+    def milenage(self) -> Milenage:
+        return Milenage(self.k, opc=self.opc)
+
+    def next_sqn(self) -> bytes:
+        self.sqn += 32  # SQN increments in steps (TS 33.102 Annex C)
+        return self.sqn.to_bytes(6, "big")
+
+
+class SubscriberDb:
+    """SUPI-keyed store with GUTI allocation and lookup."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, SubscriberRecord] = {}
+        self._guti_index: dict[str, str] = {}
+        self._guti_counter = itertools.count(1)
+
+    def provision(
+        self,
+        supi: str,
+        k: bytes,
+        opc: bytes,
+        subscribed_dnns: tuple[str, ...] = ("internet",),
+    ) -> SubscriberRecord:
+        record = SubscriberRecord(supi=supi, k=k, opc=opc, subscribed_dnns=subscribed_dnns)
+        self._records[supi] = record
+        return record
+
+    def by_supi(self, supi: str) -> SubscriberRecord:
+        record = self._records.get(supi)
+        if record is None:
+            raise SubscriberError(f"unknown SUPI {supi}")
+        return record
+
+    def by_guti(self, guti: str) -> SubscriberRecord:
+        """Resolve a GUTI; raises SubscriberError when the mapping is
+        gone — the identity-desync failure (5GMM cause #9)."""
+        supi = self._guti_index.get(guti)
+        if supi is None:
+            raise SubscriberError(f"GUTI {guti} cannot be derived")
+        return self._records[supi]
+
+    def allocate_guti(self, supi: str) -> str:
+        record = self.by_supi(supi)
+        if record.current_guti is not None:
+            self._guti_index.pop(record.current_guti, None)
+        guti = f"5g-guti-{next(self._guti_counter):08d}"
+        record.current_guti = guti
+        self._guti_index[guti] = supi
+        return guti
+
+    def drop_guti_mapping(self, supi: str) -> None:
+        """Forget the GUTI mapping (simulates lost context after TA
+        change / AMF restart) without telling the device — the precise
+        mechanism behind repeated identity failures (§3.1)."""
+        record = self.by_supi(supi)
+        if record.current_guti is not None:
+            self._guti_index.pop(record.current_guti, None)
+
+    def expire_subscription(self, supi: str) -> None:
+        self.by_supi(supi).subscription_active = False
+
+    def reactivate_subscription(self, supi: str) -> None:
+        """The user action that clears expired-plan failures."""
+        self.by_supi(supi).subscription_active = True
+
+    def all_supis(self) -> list[str]:
+        return list(self._records)

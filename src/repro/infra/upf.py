@@ -1,0 +1,215 @@
+"""User-plane function: packet forwarding, blocking rules, servers.
+
+The UPF is the ``user_plane`` the transport clients submit packets to.
+It enforces three kinds of packet fate, matching the paper's data
+delivery failure classes (§3.1): no active PDU session (NO_ROUTE),
+policy/misconfiguration drops for TCP/UDP (injected via the failure
+engine and mirrored in user policies), and DNS outages (the carrier
+LDNS stops answering). Delivered uplink packets reach a small modeled
+server farm (DNS resolver, TCP/UDP echo services) whose replies
+traverse the downlink rules after an RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.infra.config_store import ConfigStore
+from repro.infra.failures import FailureEngine, FailureMode
+from repro.simkernel.simulator import Simulator
+from repro.transport.packets import Direction, Packet, Protocol, Verdict
+
+
+@dataclass
+class BlockRule:
+    """An explicit UPF drop rule (outside the failure engine)."""
+
+    protocol: Protocol
+    direction: str = "both"  # "uplink" / "downlink" / "both"
+    port: int | None = None
+    supi: str = ""
+
+    def matches(self, packet: Packet, supi: str) -> bool:
+        if self.supi and self.supi != supi:
+            return False
+        if packet.protocol is not self.protocol:
+            return False
+        if self.direction != "both" and packet.direction.value != self.direction:
+            return False
+        if self.port is not None and packet.dst_port != self.port and packet.src_port != self.port:
+            return False
+        return True
+
+
+@dataclass
+class SessionContext:
+    """One active PDU session's user-plane state."""
+
+    supi: str
+    pdu_session_id: int
+    ip_address: str
+    dns_server: str
+    dnn: str
+    tft: tuple[str, ...] = ()
+    established_at: float = 0.0
+
+
+class Upf:
+    """Forwarding plane + modeled remote services."""
+
+    ONE_WAY_LATENCY_MEAN = 0.018
+    ONE_WAY_LATENCY_STDEV = 0.006
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: FailureEngine,
+        config_store: ConfigStore,
+    ) -> None:
+        self.sim = sim
+        self.engine = engine
+        self.config_store = config_store
+        self.sessions: dict[str, dict[int, SessionContext]] = {}
+        self.rules: list[BlockRule] = []
+        self.name_table: dict[str, str] = {}
+        self.default_address = "203.0.113.10"
+        self.delivered = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Session management (driven by the SMF)
+    # ------------------------------------------------------------------
+    def add_session(self, ctx: SessionContext) -> None:
+        self.sessions.setdefault(ctx.supi, {})[ctx.pdu_session_id] = ctx
+
+    def remove_session(self, supi: str, pdu_session_id: int) -> SessionContext | None:
+        return self.sessions.get(supi, {}).pop(pdu_session_id, None)
+
+    def session_for_ip(self, ip: str) -> SessionContext | None:
+        for per_supi in self.sessions.values():
+            for ctx in per_supi.values():
+                if ctx.ip_address == ip:
+                    return ctx
+        return None
+
+    def active_sessions(self, supi: str) -> list[SessionContext]:
+        return list(self.sessions.get(supi, {}).values())
+
+    # ------------------------------------------------------------------
+    # Packet path
+    # ------------------------------------------------------------------
+    def submit(self, packet: Packet, on_response: Callable[[Packet], None] | None = None) -> Verdict:
+        """Carry an uplink packet; schedule any service reply."""
+        ctx = self.session_for_ip(packet.src_ip)
+        if ctx is None:
+            return Verdict.NO_ROUTE
+        if self._blocked(packet, ctx.supi):
+            self.dropped += 1
+            return Verdict.DROPPED
+        self.delivered += 1
+        if on_response is not None:
+            reply = self._service_reply(packet, ctx)
+            if reply is not None:
+                rtt = 2 * self.sim.rng.gauss_clamped(
+                    "upf.latency", self.ONE_WAY_LATENCY_MEAN, self.ONE_WAY_LATENCY_STDEV, 0.002
+                )
+                self.sim.schedule(rtt, self._deliver_downlink, reply, ctx, on_response,
+                                  label="upf:reply")
+        return Verdict.DELIVERED
+
+    def _deliver_downlink(self, reply: Packet, ctx: SessionContext, on_response) -> None:
+        if self._blocked(reply, ctx.supi):
+            self.dropped += 1
+            return
+        # Session may have been torn down in flight.
+        if ctx.pdu_session_id not in self.sessions.get(ctx.supi, {}):
+            return
+        self.delivered += 1
+        on_response(reply)
+
+    # ------------------------------------------------------------------
+    # Pure oracles (no counters; used by the measurement harness)
+    # ------------------------------------------------------------------
+    def would_block(self, supi: str, protocol: Protocol, port: int,
+                    direction: Direction = Direction.UPLINK) -> bool:
+        """Would a packet of this shape be dropped right now?"""
+        probe = Packet(protocol=protocol, direction=direction,
+                       src_port=port, dst_port=port)
+        for rule in self.rules:
+            if rule.matches(probe, supi):
+                return True
+        policy = self.config_store.policy_for(supi)
+        if policy.blocks(protocol.value, direction.value, port):
+            return True
+        for failure in self.engine.blocking_rules(supi):
+            spec = failure.spec
+            if spec.mode is FailureMode.DNS_OUTAGE:
+                continue
+            if spec.block_protocol and spec.block_protocol != protocol.value:
+                continue
+            if spec.block_direction not in ("both", direction.value):
+                continue
+            return True
+        return False
+
+    def dns_healthy(self, ctx: SessionContext) -> bool:
+        """Is the session's configured resolver answering right now?"""
+        for failure in self.engine.blocking_rules(ctx.supi):
+            if failure.spec.mode is not FailureMode.DNS_OUTAGE:
+                continue
+            if failure.spec.dns_server and failure.spec.dns_server != ctx.dns_server:
+                continue
+            return False
+        return True
+
+    def _blocked(self, packet: Packet, supi: str) -> bool:
+        for rule in self.rules:
+            if rule.matches(packet, supi):
+                return True
+        policy = self.config_store.policy_for(supi)
+        port = packet.dst_port if packet.direction is Direction.UPLINK else packet.src_port
+        if policy.blocks(packet.protocol.value, packet.direction.value, port):
+            return True
+        for failure in self.engine.blocking_rules(supi):
+            spec = failure.spec
+            if spec.mode is FailureMode.DNS_OUTAGE:
+                continue  # handled at the resolver, not the wire
+            if spec.block_protocol and spec.block_protocol != packet.protocol.value:
+                continue
+            if spec.block_direction not in ("both", packet.direction.value):
+                continue
+            failure.hits += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Modeled services
+    # ------------------------------------------------------------------
+    def _service_reply(self, packet: Packet, ctx: SessionContext) -> Packet | None:
+        if packet.protocol is Protocol.DNS:
+            if packet.dst_ip != ctx.dns_server:
+                return None  # wrong resolver: nothing is listening there
+            if self._dns_down(ctx):
+                return None
+            qname = packet.payload.get("qname", "")
+            address = self.name_table.get(qname, self.default_address)
+            return packet.reply(qname=qname, address=address, rcode="NOERROR")
+        if packet.protocol is Protocol.TCP:
+            flags = packet.payload.get("flags", "")
+            if flags == "SYN":
+                return packet.reply(flags="SYN-ACK")
+            return packet.reply(flags="ACK-DATA")
+        if packet.protocol is Protocol.UDP:
+            return packet.reply(echo=True)
+        return None
+
+    def _dns_down(self, ctx: SessionContext) -> bool:
+        for failure in self.engine.blocking_rules(ctx.supi):
+            if failure.spec.mode is not FailureMode.DNS_OUTAGE:
+                continue
+            if failure.spec.dns_server and failure.spec.dns_server != ctx.dns_server:
+                continue  # outage is on a different resolver
+            failure.hits += 1
+            return True
+        return False

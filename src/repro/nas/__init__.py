@@ -1,0 +1,80 @@
+"""5G NAS protocol substrate (3GPP TS 24.501 subset).
+
+This package models the Non-Access-Stratum layer the paper's diagnosis
+is built on: the standardized 5GMM/5GSM cause registries
+(:mod:`repro.nas.causes`), message dataclasses
+(:mod:`repro.nas.messages`), a byte-level codec
+(:mod:`repro.nas.codec`), standard protocol timers
+(:mod:`repro.nas.timers`), and the registration / PDU-session state
+machines (:mod:`repro.nas.fsm`).
+"""
+
+from repro.nas.causes import (
+    CauseCategory,
+    CauseInfo,
+    ConfigKind,
+    Plane,
+    cause_info,
+    config_related_mm_causes,
+    config_related_sm_causes,
+    MM_CAUSES,
+    SM_CAUSES,
+)
+from repro.nas.fsm import CmState, RmState, RegistrationFsm, SessionFsm, SmState
+from repro.nas.messages import (
+    AuthenticationFailure,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    DeregistrationRequest,
+    NasMessage,
+    PduSessionEstablishmentAccept,
+    PduSessionEstablishmentReject,
+    PduSessionEstablishmentRequest,
+    PduSessionModificationCommand,
+    PduSessionModificationReject,
+    PduSessionModificationRequest,
+    PduSessionReleaseCommand,
+    PduSessionReleaseRequest,
+    RegistrationAccept,
+    RegistrationReject,
+    RegistrationRequest,
+    ServiceReject,
+    ServiceRequest,
+)
+from repro.nas.timers import StandardTimers
+
+__all__ = [
+    "AuthenticationFailure",
+    "AuthenticationRequest",
+    "AuthenticationResponse",
+    "CauseCategory",
+    "CauseInfo",
+    "CmState",
+    "ConfigKind",
+    "DeregistrationRequest",
+    "MM_CAUSES",
+    "NasMessage",
+    "PduSessionEstablishmentAccept",
+    "PduSessionEstablishmentReject",
+    "PduSessionEstablishmentRequest",
+    "PduSessionModificationCommand",
+    "PduSessionModificationReject",
+    "PduSessionModificationRequest",
+    "PduSessionReleaseCommand",
+    "PduSessionReleaseRequest",
+    "Plane",
+    "RegistrationAccept",
+    "RegistrationFsm",
+    "RegistrationReject",
+    "RegistrationRequest",
+    "RmState",
+    "SM_CAUSES",
+    "ServiceReject",
+    "ServiceRequest",
+    "SessionFsm",
+    "SmState",
+    "StandardTimers",
+    "cause_info",
+    "config_related_mm_causes",
+    "config_related_sm_causes",
+]

@@ -1,0 +1,274 @@
+"""Standardized 5G failure cause registries (3GPP TS 24.501).
+
+The paper (§4.3.1) builds SEED's lightweight SIM diagnosis on the "80+
+failure codes" 5G standardizes: 5GMM causes carried in control-plane
+management rejects and 5GSM causes carried in data-plane (session)
+management rejects. This module encodes both registries with the
+metadata SEED needs per cause:
+
+* which plane the cause belongs to (control vs data management),
+* a diagnosis category (identity sync, subscription, congestion, ...),
+* whether the cause is configuration-related, and if so which
+  configuration item the infrastructure should push alongside the
+  cause code (paper Appendix A),
+* whether recovery requires a user action (expired plan, illegal UE),
+  which SEED surfaces as a notification instead of a reset.
+
+The registry easily fits the paper's SIM budget: serialised it is a few
+kilobytes against the 32–128 KB EEPROM cited in §4.3.1 (our applet
+runtime in :mod:`repro.sim_card.applet_rt` enforces this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Plane(enum.Enum):
+    """Which management plane a cause code belongs to."""
+
+    CONTROL = "control"
+    DATA = "data"
+
+
+class CauseCategory(enum.Enum):
+    """Diagnosis categories used by the SIM decision logic (§4.3.1)."""
+
+    IDENTITY = "identity"            # UE identification / state sync
+    SUBSCRIPTION = "subscription"    # subscription options / barring
+    CONGESTION = "congestion"        # network congestion / resources
+    AUTHENTICATION = "authentication"
+    INVALID_MESSAGE = "invalid_message"
+    CONFIGURATION = "configuration"  # outdated/wrong configuration
+    PROTOCOL_ERROR = "protocol_error"
+    AREA_RESTRICTION = "area_restriction"
+    SLICE = "slice"
+    UNSPECIFIED = "unspecified"
+
+
+class ConfigKind(enum.Enum):
+    """Configuration item the infra pushes with the cause (Appendix A)."""
+
+    SUPPORTED_RAT = "supported_rat"
+    SUGGESTED_SNSSAI = "suggested_s_nssai"
+    SUGGESTED_DNN = "suggested_dnn"
+    SUGGESTED_SESSION_TYPE = "suggested_session_type"
+    SUGGESTED_TFT = "suggested_tft"
+    SUGGESTED_PACKET_FILTER = "suggested_packet_filter"
+    SUGGESTED_5QI = "suggested_5qi"
+    ACTIVATED_PDU_SESSION = "activated_pdu_session"
+    INVALID_OR_MISSED_CONFIG = "invalid_or_missed_config"
+    PLMN_LIST = "plmn_list"
+
+
+@dataclass(frozen=True)
+class CauseInfo:
+    """Static metadata for one standardized cause code."""
+
+    code: int
+    name: str
+    plane: Plane
+    category: CauseCategory
+    config: ConfigKind | None = None
+    user_action: bool = False
+
+    @property
+    def config_related(self) -> bool:
+        return self.config is not None
+
+
+def _mm(code: int, name: str, category: CauseCategory, config: ConfigKind | None = None,
+        user_action: bool = False) -> CauseInfo:
+    return CauseInfo(code, name, Plane.CONTROL, category, config, user_action)
+
+
+def _sm(code: int, name: str, category: CauseCategory, config: ConfigKind | None = None,
+        user_action: bool = False) -> CauseInfo:
+    return CauseInfo(code, name, Plane.DATA, category, config, user_action)
+
+
+# ---------------------------------------------------------------------------
+# 5GMM causes — control-plane management (TS 24.501 §9.11.3.2 / Annex A)
+# ---------------------------------------------------------------------------
+_MM_LIST = [
+    _mm(3, "Illegal UE", CauseCategory.AUTHENTICATION, user_action=True),
+    _mm(5, "PEI not accepted", CauseCategory.IDENTITY, user_action=True),
+    _mm(6, "Illegal ME", CauseCategory.AUTHENTICATION, user_action=True),
+    _mm(7, "5GS services not allowed", CauseCategory.SUBSCRIPTION, user_action=True),
+    _mm(9, "UE identity cannot be derived by the network", CauseCategory.IDENTITY),
+    _mm(10, "Implicitly de-registered", CauseCategory.IDENTITY),
+    _mm(11, "PLMN not allowed", CauseCategory.AREA_RESTRICTION,
+        config=ConfigKind.PLMN_LIST),
+    _mm(12, "Tracking area not allowed", CauseCategory.AREA_RESTRICTION),
+    _mm(13, "Roaming not allowed in this tracking area", CauseCategory.AREA_RESTRICTION),
+    _mm(15, "No suitable cells in tracking area", CauseCategory.AREA_RESTRICTION),
+    _mm(20, "MAC failure", CauseCategory.AUTHENTICATION),
+    _mm(21, "Synch failure", CauseCategory.AUTHENTICATION),
+    _mm(22, "Congestion", CauseCategory.CONGESTION),
+    _mm(23, "UE security capabilities mismatch", CauseCategory.AUTHENTICATION),
+    _mm(24, "Security mode rejected, unspecified", CauseCategory.AUTHENTICATION),
+    _mm(26, "Non-5G authentication unacceptable", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUPPORTED_RAT),
+    _mm(27, "N1 mode not allowed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUPPORTED_RAT),
+    _mm(28, "Restricted service area", CauseCategory.AREA_RESTRICTION),
+    _mm(31, "Redirection to EPC required", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUPPORTED_RAT),
+    _mm(43, "LADN not available", CauseCategory.AREA_RESTRICTION),
+    _mm(62, "No network slices available", CauseCategory.SLICE,
+        config=ConfigKind.SUGGESTED_SNSSAI),
+    _mm(65, "Maximum number of PDU sessions reached", CauseCategory.CONGESTION),
+    _mm(67, "Insufficient resources for specific slice and DNN", CauseCategory.CONGESTION),
+    _mm(69, "Insufficient resources for specific slice", CauseCategory.CONGESTION),
+    _mm(71, "ngKSI already in use", CauseCategory.AUTHENTICATION),
+    _mm(72, "Non-3GPP access to 5GCN not allowed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUPPORTED_RAT),
+    _mm(73, "Serving network not authorized", CauseCategory.AREA_RESTRICTION),
+    _mm(74, "Temporarily not authorized for this SNPN", CauseCategory.SUBSCRIPTION),
+    _mm(75, "Permanently not authorized for this SNPN", CauseCategory.SUBSCRIPTION,
+        user_action=True),
+    _mm(76, "Not authorized for this CAG or authorized for CAG cells only",
+        CauseCategory.SUBSCRIPTION),
+    _mm(77, "Wireline access area not allowed", CauseCategory.AREA_RESTRICTION),
+    _mm(90, "Payload was not forwarded", CauseCategory.PROTOCOL_ERROR),
+    _mm(91, "DNN not supported or not subscribed in the slice", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_DNN),
+    _mm(92, "Insufficient user-plane resources for the PDU session",
+        CauseCategory.CONGESTION),
+    _mm(95, "Semantically incorrect message", CauseCategory.INVALID_MESSAGE,
+        config=ConfigKind.INVALID_OR_MISSED_CONFIG),
+    _mm(96, "Invalid mandatory information", CauseCategory.INVALID_MESSAGE,
+        config=ConfigKind.INVALID_OR_MISSED_CONFIG),
+    _mm(97, "Message type non-existent or not implemented", CauseCategory.PROTOCOL_ERROR),
+    _mm(98, "Message type not compatible with the protocol state",
+        CauseCategory.PROTOCOL_ERROR),
+    _mm(99, "Information element non-existent or not implemented",
+        CauseCategory.PROTOCOL_ERROR),
+    _mm(100, "Conditional IE error", CauseCategory.INVALID_MESSAGE,
+        config=ConfigKind.INVALID_OR_MISSED_CONFIG),
+    _mm(101, "Message not compatible with the protocol state",
+        CauseCategory.PROTOCOL_ERROR),
+    _mm(111, "Protocol error, unspecified", CauseCategory.UNSPECIFIED),
+]
+
+# The trace corpus (paper §3.1) spans 4G LTE as well; "No EPS bearer
+# context activated" (EMM cause #40, TS 24.301) appears in Table 1.
+# SEED is "also applicable to 4G LTE" (§1), so we register the legacy
+# cause under the control plane with a distinguishing name.
+_MM_LIST.append(_mm(40, "No EPS bearer context activated", CauseCategory.IDENTITY))
+
+MM_CAUSES: dict[int, CauseInfo] = {c.code: c for c in _MM_LIST}
+
+
+# ---------------------------------------------------------------------------
+# 5GSM causes — data-plane (session) management (TS 24.501 §9.11.4.2)
+# ---------------------------------------------------------------------------
+_SM_LIST = [
+    _sm(8, "Operator determined barring", CauseCategory.SUBSCRIPTION, user_action=True),
+    _sm(26, "Insufficient resources", CauseCategory.CONGESTION),
+    _sm(27, "Missing or unknown DNN", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_DNN),
+    _sm(28, "Unknown PDU session type", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_SESSION_TYPE),
+    _sm(29, "User authentication or authorization failed", CauseCategory.AUTHENTICATION,
+        user_action=True),
+    _sm(31, "Request rejected, unspecified", CauseCategory.UNSPECIFIED),
+    _sm(32, "Service option not supported", CauseCategory.SUBSCRIPTION),
+    _sm(33, "Requested service option not subscribed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_DNN),
+    _sm(35, "PTI already in use", CauseCategory.PROTOCOL_ERROR),
+    _sm(36, "Regular deactivation", CauseCategory.PROTOCOL_ERROR),
+    _sm(38, "Network failure", CauseCategory.UNSPECIFIED),
+    _sm(39, "Reactivation requested", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_DNN),
+    _sm(41, "Semantic error in the TFT operation", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_TFT),
+    _sm(42, "Syntactical error in the TFT operation", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_TFT),
+    _sm(43, "Invalid PDU session identity", CauseCategory.CONFIGURATION,
+        config=ConfigKind.ACTIVATED_PDU_SESSION),
+    _sm(44, "Semantic errors in packet filter(s)", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_PACKET_FILTER),
+    _sm(45, "Syntactical error in packet filter(s)", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_PACKET_FILTER),
+    _sm(46, "Out of LADN service area", CauseCategory.AREA_RESTRICTION),
+    _sm(47, "PTI mismatch", CauseCategory.PROTOCOL_ERROR),
+    _sm(50, "PDU session type IPv4 only allowed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_SESSION_TYPE),
+    _sm(51, "PDU session type IPv6 only allowed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_SESSION_TYPE),
+    _sm(54, "PDU session does not exist", CauseCategory.CONFIGURATION,
+        config=ConfigKind.ACTIVATED_PDU_SESSION),
+    _sm(57, "PDU session type IPv4v6 only allowed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_SESSION_TYPE),
+    _sm(58, "PDU session type Unstructured only allowed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_SESSION_TYPE),
+    _sm(59, "Unsupported 5QI value", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_5QI),
+    _sm(61, "PDU session type Ethernet only allowed", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_SESSION_TYPE),
+    _sm(67, "Insufficient resources for specific slice and DNN", CauseCategory.CONGESTION),
+    _sm(68, "Not supported SSC mode", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_PACKET_FILTER),
+    _sm(69, "Insufficient resources for specific slice", CauseCategory.CONGESTION),
+    _sm(70, "Missing or unknown DNN in a slice", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_DNN),
+    _sm(81, "Invalid PTI value", CauseCategory.PROTOCOL_ERROR),
+    _sm(82, "Maximum data rate per UE for user-plane integrity protection is too low",
+        CauseCategory.CONGESTION),
+    _sm(83, "Semantic error in the QoS operation", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_PACKET_FILTER),
+    _sm(84, "Syntactical error in the QoS operation", CauseCategory.CONFIGURATION,
+        config=ConfigKind.SUGGESTED_PACKET_FILTER),
+    _sm(85, "Invalid mapped EPS bearer identity", CauseCategory.PROTOCOL_ERROR),
+    _sm(95, "Semantically incorrect message", CauseCategory.INVALID_MESSAGE,
+        config=ConfigKind.INVALID_OR_MISSED_CONFIG),
+    _sm(96, "Invalid mandatory information", CauseCategory.INVALID_MESSAGE,
+        config=ConfigKind.INVALID_OR_MISSED_CONFIG),
+    _sm(97, "Message type non-existent or not implemented", CauseCategory.PROTOCOL_ERROR),
+    _sm(98, "Message type not compatible with the protocol state",
+        CauseCategory.PROTOCOL_ERROR),
+    _sm(99, "Information element non-existent or not implemented",
+        CauseCategory.PROTOCOL_ERROR),
+    _sm(100, "Conditional IE error", CauseCategory.INVALID_MESSAGE,
+        config=ConfigKind.INVALID_OR_MISSED_CONFIG),
+    _sm(101, "Message not compatible with the protocol state",
+        CauseCategory.PROTOCOL_ERROR),
+    _sm(111, "Protocol error, unspecified", CauseCategory.UNSPECIFIED),
+]
+
+SM_CAUSES: dict[int, CauseInfo] = {c.code: c for c in _SM_LIST}
+
+
+# ---------------------------------------------------------------------------
+# Lookup helpers
+# ---------------------------------------------------------------------------
+def cause_info(plane: Plane, code: int) -> CauseInfo:
+    """Look up the registry entry for ``code`` on ``plane``.
+
+    Unknown codes (operator-customized causes, §5.1) return a synthetic
+    UNSPECIFIED entry rather than raising: SEED must keep operating when
+    it sees a cause outside the standard, deferring to infra assistance
+    or online learning.
+    """
+    registry = MM_CAUSES if plane is Plane.CONTROL else SM_CAUSES
+    info = registry.get(code)
+    if info is not None:
+        return info
+    return CauseInfo(code, f"Unstandardized cause #{code}", plane, CauseCategory.UNSPECIFIED)
+
+
+def config_related_mm_causes() -> list[CauseInfo]:
+    """Control-plane causes the infra pushes configurations for (App. A)."""
+    return [c for c in MM_CAUSES.values() if c.config_related]
+
+
+def config_related_sm_causes() -> list[CauseInfo]:
+    """Data-plane causes the infra pushes configurations for (App. A)."""
+    return [c for c in SM_CAUSES.values() if c.config_related]
+
+
+def total_standardized_causes() -> int:
+    """Size of the combined registry (paper: "5G defines 80+ codes")."""
+    return len(MM_CAUSES) + len(SM_CAUSES)

@@ -1,0 +1,383 @@
+"""Byte-level NAS message codec.
+
+Messages are framed with a real NAS-style header — extended protocol
+discriminator (0x7E for 5GMM, 0x2E for 5GSM), a plain security header,
+and the TS 24.501 message-type octet — followed by the message fields
+as tag-length-value elements. The codec round-trips every message in
+:mod:`repro.nas.messages`; the tests fuzz it with hypothesis.
+
+SEED cares about the wire format in two places: the Authentication
+Request (RAND/AUTN fields reused as the downlink diagnosis channel)
+and the PDU Session Establishment Request (DNN field reused as the
+uplink channel). Both are encoded at true field widths here.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.nas import ies
+from repro.nas.messages import (
+    AuthenticationFailure,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    DeregistrationRequest,
+    MessageType,
+    NasMessage,
+    PduSessionEstablishmentAccept,
+    PduSessionEstablishmentReject,
+    PduSessionEstablishmentRequest,
+    PduSessionModificationCommand,
+    PduSessionModificationReject,
+    PduSessionModificationRequest,
+    PduSessionReleaseCommand,
+    PduSessionReleaseRequest,
+    RegistrationAccept,
+    RegistrationReject,
+    RegistrationRequest,
+    ServiceReject,
+    ServiceRequest,
+)
+
+EPD_5GMM = 0x7E
+EPD_5GSM = 0x2E
+
+
+class CodecError(ValueError):
+    """Raised on malformed wire bytes."""
+
+
+# ---------------------------------------------------------------------------
+# TLV plumbing
+# ---------------------------------------------------------------------------
+def _tlv(tag: int, value: bytes) -> bytes:
+    if len(value) > 0xFFFF:
+        raise CodecError("IE too long")
+    return struct.pack(">BH", tag, len(value)) + value
+
+
+def _parse_tlvs(data: bytes) -> dict[int, bytes]:
+    out: dict[int, bytes] = {}
+    index = 0
+    while index < len(data):
+        if index + 3 > len(data):
+            raise CodecError("truncated TLV header")
+        tag, length = struct.unpack_from(">BH", data, index)
+        index += 3
+        if index + length > len(data):
+            raise CodecError("truncated TLV value")
+        out[tag] = data[index : index + length]
+        index += length
+    return out
+
+
+def _str(value: str) -> bytes:
+    return value.encode("utf-8")
+
+
+def _u32(value: int) -> bytes:
+    return struct.pack(">I", value)
+
+
+def _f64(value: float) -> bytes:
+    return struct.pack(">d", value)
+
+
+def _str_tuple(values: tuple[str, ...]) -> bytes:
+    out = bytearray()
+    for v in values:
+        raw = v.encode("utf-8")
+        out.extend(struct.pack(">H", len(raw)))
+        out.extend(raw)
+    return bytes(out)
+
+
+def _parse_str_tuple(data: bytes) -> tuple[str, ...]:
+    values = []
+    index = 0
+    while index < len(data):
+        (length,) = struct.unpack_from(">H", data, index)
+        index += 2
+        values.append(data[index : index + length].decode("utf-8"))
+        index += length
+    return tuple(values)
+
+
+# Field tags (shared across messages; unique within each message).
+T_SUPI, T_GUTI, T_PLMN, T_TA, T_CAPS = 0x01, 0x02, 0x03, 0x04, 0x05
+T_TALIST, T_TIMER, T_CAUSE, T_SWITCH_OFF = 0x06, 0x07, 0x08, 0x09
+T_RAND, T_AUTN, T_NGKSI, T_RES, T_AUTS = 0x10, 0x11, 0x12, 0x13, 0x14
+T_PSI, T_DNN, T_PDU_TYPE, T_SST, T_IP, T_DNS, T_5QI = 0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26
+T_TFT, T_ACK_FLAG, T_NEW_DNS = 0x27, 0x28, 0x29
+
+
+# ---------------------------------------------------------------------------
+# Encode
+# ---------------------------------------------------------------------------
+def encode(msg: NasMessage) -> bytes:
+    """Serialise a NAS message to wire bytes."""
+    body = _encode_body(msg)
+    epd = EPD_5GSM if msg.is_session_management else EPD_5GMM
+    security_header = 0x00  # plain NAS message
+    return bytes([epd, security_header, msg.MESSAGE_TYPE]) + body
+
+
+def _encode_body(msg: NasMessage) -> bytes:
+    if isinstance(msg, RegistrationRequest):
+        parts = [_tlv(T_SUPI, _str(msg.supi)), _tlv(T_PLMN, _str(msg.requested_plmn)),
+                 _tlv(T_TA, _u32(msg.tracking_area)), _tlv(T_CAPS, _str_tuple(msg.capabilities)),
+                 _tlv(T_SST, bytes([msg.requested_sst & 0xFF]))]
+        if msg.guti is not None:
+            parts.append(_tlv(T_GUTI, _str(msg.guti)))
+        return b"".join(parts)
+    if isinstance(msg, RegistrationAccept):
+        return b"".join([
+            _tlv(T_GUTI, _str(msg.guti)),
+            _tlv(T_TALIST, b"".join(_u32(t) for t in msg.tracking_area_list)),
+            _tlv(T_TIMER, _f64(msg.t3512_seconds)),
+        ])
+    if isinstance(msg, RegistrationReject):
+        parts = [_tlv(T_CAUSE, ies.encode_cause(msg.cause))]
+        if msg.t3502_seconds is not None:
+            parts.append(_tlv(T_TIMER, _f64(msg.t3502_seconds)))
+        return b"".join(parts)
+    if isinstance(msg, DeregistrationRequest):
+        return b"".join([
+            _tlv(T_SUPI, _str(msg.supi)),
+            _tlv(T_SWITCH_OFF, bytes([1 if msg.switch_off else 0])),
+        ])
+    if isinstance(msg, ServiceRequest):
+        return _tlv(T_GUTI, _str(msg.guti))
+    if isinstance(msg, ServiceReject):
+        return _tlv(T_CAUSE, ies.encode_cause(msg.cause))
+    if isinstance(msg, AuthenticationRequest):
+        return b"".join([
+            _tlv(T_RAND, ies.validate_rand(msg.rand)),
+            _tlv(T_AUTN, ies.validate_autn(msg.autn)),
+            _tlv(T_NGKSI, bytes([msg.ngksi & 0x0F])),
+        ])
+    if isinstance(msg, AuthenticationResponse):
+        return _tlv(T_RES, msg.res)
+    if isinstance(msg, AuthenticationFailure):
+        return b"".join([_tlv(T_CAUSE, ies.encode_cause(msg.cause)), _tlv(T_AUTS, msg.auts)])
+    if isinstance(msg, PduSessionEstablishmentRequest):
+        dnn_wire = msg.dnn_raw if msg.dnn_raw is not None else ies.encode_dnn(msg.dnn)
+        if len(dnn_wire) > ies.MAX_DNN_LENGTH:
+            raise CodecError("DNN field over 100-octet budget")
+        return b"".join([
+            _tlv(T_PSI, bytes([msg.pdu_session_id])),
+            _tlv(T_DNN, dnn_wire),
+            _tlv(T_PDU_TYPE, _str(msg.pdu_session_type)),
+            _tlv(T_SST, bytes([msg.s_nssai_sst])),
+        ])
+    if isinstance(msg, PduSessionEstablishmentAccept):
+        return b"".join([
+            _tlv(T_PSI, bytes([msg.pdu_session_id])),
+            _tlv(T_IP, _str(msg.ip_address)),
+            _tlv(T_DNS, _str(msg.dns_server)),
+            _tlv(T_5QI, bytes([msg.qos_5qi])),
+        ])
+    if isinstance(msg, PduSessionEstablishmentReject):
+        return b"".join([
+            _tlv(T_PSI, bytes([msg.pdu_session_id])),
+            _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
+            _tlv(T_ACK_FLAG, bytes([1 if msg.is_ack else 0])),
+        ])
+    if isinstance(msg, PduSessionModificationRequest):
+        return b"".join([
+            _tlv(T_PSI, bytes([msg.pdu_session_id])),
+            _tlv(T_TFT, _str_tuple(msg.requested_tft)),
+        ])
+    if isinstance(msg, PduSessionModificationReject):
+        return b"".join([
+            _tlv(T_PSI, bytes([msg.pdu_session_id])),
+            _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
+        ])
+    if isinstance(msg, PduSessionModificationCommand):
+        parts = [_tlv(T_PSI, bytes([msg.pdu_session_id])), _tlv(T_TFT, _str_tuple(msg.new_tft))]
+        if msg.new_dns_server is not None:
+            parts.append(_tlv(T_NEW_DNS, _str(msg.new_dns_server)))
+        return b"".join(parts)
+    if isinstance(msg, PduSessionReleaseRequest):
+        return _tlv(T_PSI, bytes([msg.pdu_session_id]))
+    if isinstance(msg, PduSessionReleaseCommand):
+        return b"".join([
+            _tlv(T_PSI, bytes([msg.pdu_session_id])),
+            _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
+        ])
+    raise CodecError(f"no encoder for {type(msg).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Decode
+# ---------------------------------------------------------------------------
+def decode(data: bytes) -> NasMessage:
+    """Parse wire bytes back into a NAS message object."""
+    if len(data) < 3:
+        raise CodecError("NAS message shorter than header")
+    epd, security_header, message_type = data[0], data[1], data[2]
+    if epd not in (EPD_5GMM, EPD_5GSM):
+        raise CodecError(f"unknown extended protocol discriminator 0x{epd:02x}")
+    if security_header != 0x00:
+        raise CodecError("only plain security header supported")
+    fields = _parse_tlvs(data[3:])
+    decoder = _DECODERS.get(message_type)
+    if decoder is None:
+        raise CodecError(f"unknown message type 0x{message_type:02x}")
+    return decoder(fields)
+
+
+def _req(fields: dict[int, bytes], tag: int) -> bytes:
+    if tag not in fields:
+        raise CodecError(f"missing mandatory IE 0x{tag:02x}")
+    return fields[tag]
+
+
+def _decode_registration_request(f: dict[int, bytes]) -> RegistrationRequest:
+    return RegistrationRequest(
+        supi=_req(f, T_SUPI).decode("utf-8"),
+        guti=f[T_GUTI].decode("utf-8") if T_GUTI in f else None,
+        requested_plmn=_req(f, T_PLMN).decode("utf-8"),
+        tracking_area=struct.unpack(">I", _req(f, T_TA))[0],
+        capabilities=_parse_str_tuple(_req(f, T_CAPS)),
+        requested_sst=f[T_SST][0] if T_SST in f else 1,
+    )
+
+
+def _decode_registration_accept(f: dict[int, bytes]) -> RegistrationAccept:
+    raw = _req(f, T_TALIST)
+    tas = tuple(struct.unpack_from(">I", raw, i)[0] for i in range(0, len(raw), 4))
+    return RegistrationAccept(
+        guti=_req(f, T_GUTI).decode("utf-8"),
+        tracking_area_list=tas,
+        t3512_seconds=struct.unpack(">d", _req(f, T_TIMER))[0],
+    )
+
+
+def _decode_registration_reject(f: dict[int, bytes]) -> RegistrationReject:
+    return RegistrationReject(
+        cause=ies.decode_cause(_req(f, T_CAUSE)),
+        t3502_seconds=struct.unpack(">d", f[T_TIMER])[0] if T_TIMER in f else None,
+    )
+
+
+def _decode_deregistration_request(f: dict[int, bytes]) -> DeregistrationRequest:
+    return DeregistrationRequest(
+        supi=_req(f, T_SUPI).decode("utf-8"),
+        switch_off=bool(_req(f, T_SWITCH_OFF)[0]),
+    )
+
+
+def _decode_service_request(f: dict[int, bytes]) -> ServiceRequest:
+    return ServiceRequest(guti=_req(f, T_GUTI).decode("utf-8"))
+
+
+def _decode_service_reject(f: dict[int, bytes]) -> ServiceReject:
+    return ServiceReject(cause=ies.decode_cause(_req(f, T_CAUSE)))
+
+
+def _decode_auth_request(f: dict[int, bytes]) -> AuthenticationRequest:
+    return AuthenticationRequest(
+        rand=ies.validate_rand(_req(f, T_RAND)),
+        autn=ies.validate_autn(_req(f, T_AUTN)),
+        ngksi=_req(f, T_NGKSI)[0],
+    )
+
+
+def _decode_auth_response(f: dict[int, bytes]) -> AuthenticationResponse:
+    return AuthenticationResponse(res=_req(f, T_RES))
+
+
+def _decode_auth_failure(f: dict[int, bytes]) -> AuthenticationFailure:
+    return AuthenticationFailure(cause=ies.decode_cause(_req(f, T_CAUSE)), auts=_req(f, T_AUTS))
+
+
+def _decode_pdu_est_request(f: dict[int, bytes]) -> PduSessionEstablishmentRequest:
+    dnn_wire = _req(f, T_DNN)
+    try:
+        dnn = ies.decode_dnn(dnn_wire)
+    except (IesDecodeError, UnicodeDecodeError):
+        # Opaque (diagnosis) payload: labels are binary ciphertext.
+        dnn = "DIAG"
+    # The raw field bytes are always preserved: the SEED core plugin
+    # inspects them directly (diagnosis payloads are not ASCII labels).
+    return PduSessionEstablishmentRequest(
+        pdu_session_id=_req(f, T_PSI)[0],
+        dnn=dnn,
+        dnn_raw=dnn_wire,
+        pdu_session_type=_req(f, T_PDU_TYPE).decode("utf-8"),
+        s_nssai_sst=_req(f, T_SST)[0],
+    )
+
+
+def _decode_pdu_est_accept(f: dict[int, bytes]) -> PduSessionEstablishmentAccept:
+    return PduSessionEstablishmentAccept(
+        pdu_session_id=_req(f, T_PSI)[0],
+        ip_address=_req(f, T_IP).decode("utf-8"),
+        dns_server=_req(f, T_DNS).decode("utf-8"),
+        qos_5qi=_req(f, T_5QI)[0],
+    )
+
+
+def _decode_pdu_est_reject(f: dict[int, bytes]) -> PduSessionEstablishmentReject:
+    return PduSessionEstablishmentReject(
+        pdu_session_id=_req(f, T_PSI)[0],
+        cause=ies.decode_cause(_req(f, T_CAUSE)),
+        is_ack=bool(_req(f, T_ACK_FLAG)[0]),
+    )
+
+
+def _decode_pdu_mod_request(f: dict[int, bytes]) -> PduSessionModificationRequest:
+    return PduSessionModificationRequest(
+        pdu_session_id=_req(f, T_PSI)[0],
+        requested_tft=_parse_str_tuple(_req(f, T_TFT)),
+    )
+
+
+def _decode_pdu_mod_reject(f: dict[int, bytes]) -> PduSessionModificationReject:
+    return PduSessionModificationReject(
+        pdu_session_id=_req(f, T_PSI)[0],
+        cause=ies.decode_cause(_req(f, T_CAUSE)),
+    )
+
+
+def _decode_pdu_mod_command(f: dict[int, bytes]) -> PduSessionModificationCommand:
+    return PduSessionModificationCommand(
+        pdu_session_id=_req(f, T_PSI)[0],
+        new_tft=_parse_str_tuple(_req(f, T_TFT)),
+        new_dns_server=f[T_NEW_DNS].decode("utf-8") if T_NEW_DNS in f else None,
+    )
+
+
+def _decode_pdu_rel_request(f: dict[int, bytes]) -> PduSessionReleaseRequest:
+    return PduSessionReleaseRequest(pdu_session_id=_req(f, T_PSI)[0])
+
+
+def _decode_pdu_rel_command(f: dict[int, bytes]) -> PduSessionReleaseCommand:
+    return PduSessionReleaseCommand(
+        pdu_session_id=_req(f, T_PSI)[0],
+        cause=ies.decode_cause(_req(f, T_CAUSE)),
+    )
+
+
+IesDecodeError = ies.IeError
+
+_DECODERS = {
+    MessageType.REGISTRATION_REQUEST: _decode_registration_request,
+    MessageType.REGISTRATION_ACCEPT: _decode_registration_accept,
+    MessageType.REGISTRATION_REJECT: _decode_registration_reject,
+    MessageType.DEREGISTRATION_REQUEST: _decode_deregistration_request,
+    MessageType.SERVICE_REQUEST: _decode_service_request,
+    MessageType.SERVICE_REJECT: _decode_service_reject,
+    MessageType.AUTHENTICATION_REQUEST: _decode_auth_request,
+    MessageType.AUTHENTICATION_RESPONSE: _decode_auth_response,
+    MessageType.AUTHENTICATION_FAILURE: _decode_auth_failure,
+    MessageType.PDU_SESSION_ESTABLISHMENT_REQUEST: _decode_pdu_est_request,
+    MessageType.PDU_SESSION_ESTABLISHMENT_ACCEPT: _decode_pdu_est_accept,
+    MessageType.PDU_SESSION_ESTABLISHMENT_REJECT: _decode_pdu_est_reject,
+    MessageType.PDU_SESSION_MODIFICATION_REQUEST: _decode_pdu_mod_request,
+    MessageType.PDU_SESSION_MODIFICATION_REJECT: _decode_pdu_mod_reject,
+    MessageType.PDU_SESSION_MODIFICATION_COMMAND: _decode_pdu_mod_command,
+    MessageType.PDU_SESSION_RELEASE_REQUEST: _decode_pdu_rel_request,
+    MessageType.PDU_SESSION_RELEASE_COMMAND: _decode_pdu_rel_command,
+}

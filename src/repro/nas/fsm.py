@@ -1,0 +1,130 @@
+"""NAS finite state machines: registration (5GMM) and PDU session (5GSM).
+
+These are the state machines the modem firmware implements (paper §2:
+"It identifies the failed procedures based on standardized protocol
+messages and their finite state machines"). The FSMs validate
+transitions strictly — an out-of-order message raises
+:class:`FsmViolation`, which is itself one of the failure classes the
+trace corpus contains ("Message type not compatible with the protocol
+state", cause #98).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+
+class FsmViolation(RuntimeError):
+    """An event arrived that is illegal in the current state."""
+
+
+class RmState(enum.Enum):
+    """Registration management states (TS 24.501 §5.1.3)."""
+
+    DEREGISTERED = "RM-DEREGISTERED"
+    REGISTERED_INITIATED = "RM-REGISTERED-INITIATED"
+    REGISTERED = "RM-REGISTERED"
+    DEREGISTERED_INITIATED = "RM-DEREGISTERED-INITIATED"
+
+
+class CmState(enum.Enum):
+    """Connection management states (TS 24.501 §5.3.1)."""
+
+    IDLE = "CM-IDLE"
+    CONNECTED = "CM-CONNECTED"
+
+
+class SmState(enum.Enum):
+    """PDU session states (TS 24.501 §6.1.3.2)."""
+
+    INACTIVE = "PDU-SESSION-INACTIVE"
+    ACTIVE_PENDING = "PDU-SESSION-ACTIVE-PENDING"
+    ACTIVE = "PDU-SESSION-ACTIVE"
+    MODIFICATION_PENDING = "PDU-SESSION-MODIFICATION-PENDING"
+    INACTIVE_PENDING = "PDU-SESSION-INACTIVE-PENDING"
+
+
+class _Fsm:
+    """Tiny table-driven FSM with transition observers."""
+
+    TRANSITIONS: dict[tuple[enum.Enum, str], enum.Enum] = {}
+    INITIAL: enum.Enum
+
+    def __init__(self) -> None:
+        self.state = self.INITIAL
+        self.history: list[tuple[str, enum.Enum]] = []
+        self._observers: list[Callable[[enum.Enum, str, enum.Enum], None]] = []
+
+    def observe(self, callback: Callable[[enum.Enum, str, enum.Enum], None]) -> None:
+        """Register a transition observer ``(old, event, new) -> None``."""
+        self._observers.append(callback)
+
+    def feed(self, event: str) -> enum.Enum:
+        """Apply ``event``; returns the new state or raises FsmViolation."""
+        key = (self.state, event)
+        if key not in self.TRANSITIONS:
+            raise FsmViolation(f"event {event!r} illegal in state {self.state.value}")
+        old = self.state
+        self.state = self.TRANSITIONS[key]
+        self.history.append((event, self.state))
+        for callback in self._observers:
+            callback(old, event, self.state)
+        return self.state
+
+    def can(self, event: str) -> bool:
+        """True if ``event`` is legal in the current state."""
+        return (self.state, event) in self.TRANSITIONS
+
+    def reset(self) -> None:
+        """Force back to the initial state (modem reboot / profile reload)."""
+        self.state = self.INITIAL
+        self.history.append(("reset", self.state))
+
+
+class RegistrationFsm(_Fsm):
+    """UE-side registration state machine."""
+
+    INITIAL = RmState.DEREGISTERED
+    TRANSITIONS = {
+        (RmState.DEREGISTERED, "registration_requested"): RmState.REGISTERED_INITIATED,
+        (RmState.REGISTERED_INITIATED, "registration_accepted"): RmState.REGISTERED,
+        (RmState.REGISTERED_INITIATED, "registration_rejected"): RmState.DEREGISTERED,
+        (RmState.REGISTERED_INITIATED, "timeout"): RmState.DEREGISTERED,
+        (RmState.REGISTERED_INITIATED, "abort"): RmState.DEREGISTERED,
+        (RmState.REGISTERED, "deregistration_requested"): RmState.DEREGISTERED_INITIATED,
+        (RmState.REGISTERED, "network_deregistered"): RmState.DEREGISTERED,
+        (RmState.REGISTERED, "registration_requested"): RmState.REGISTERED_INITIATED,
+        (RmState.DEREGISTERED_INITIATED, "deregistration_accepted"): RmState.DEREGISTERED,
+        (RmState.DEREGISTERED_INITIATED, "timeout"): RmState.DEREGISTERED,
+    }
+
+    @property
+    def registered(self) -> bool:
+        return self.state is RmState.REGISTERED
+
+
+class SessionFsm(_Fsm):
+    """UE-side PDU session state machine (one per session id)."""
+
+    INITIAL = SmState.INACTIVE
+    TRANSITIONS = {
+        (SmState.INACTIVE, "establishment_requested"): SmState.ACTIVE_PENDING,
+        (SmState.ACTIVE_PENDING, "establishment_accepted"): SmState.ACTIVE,
+        (SmState.ACTIVE_PENDING, "establishment_rejected"): SmState.INACTIVE,
+        (SmState.ACTIVE_PENDING, "timeout"): SmState.INACTIVE,
+        (SmState.ACTIVE_PENDING, "abort"): SmState.INACTIVE,
+        (SmState.ACTIVE, "modification_requested"): SmState.MODIFICATION_PENDING,
+        (SmState.ACTIVE, "modification_commanded"): SmState.ACTIVE,
+        (SmState.ACTIVE, "release_requested"): SmState.INACTIVE_PENDING,
+        (SmState.ACTIVE, "network_released"): SmState.INACTIVE,
+        (SmState.MODIFICATION_PENDING, "modification_accepted"): SmState.ACTIVE,
+        (SmState.MODIFICATION_PENDING, "modification_rejected"): SmState.ACTIVE,
+        (SmState.MODIFICATION_PENDING, "timeout"): SmState.ACTIVE,
+        (SmState.INACTIVE_PENDING, "release_completed"): SmState.INACTIVE,
+        (SmState.INACTIVE_PENDING, "timeout"): SmState.INACTIVE,
+    }
+
+    @property
+    def active(self) -> bool:
+        return self.state is SmState.ACTIVE

@@ -1,0 +1,162 @@
+"""NAS information-element encoders/decoders.
+
+Only the IEs the reproduction actually exercises are implemented, at
+real wire format where it matters to SEED:
+
+* DNN (TS 24.501 §9.11.2.1B → TS 23.003 APN label encoding) — SEED's
+  uplink diagnosis channel hides payloads here (§4.5), so the length
+  budget (100 bytes) and label structure are enforced faithfully.
+* RAND / AUTN (16 bytes each) — the downlink channel replaces RAND with
+  the all-FF DFlag and carries the sealed payload in AUTN.
+* 5GMM/5GSM cause (1 byte).
+* PDU session type, S-NSSAI (sliced diagnosis extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class IeError(ValueError):
+    """Malformed information element."""
+
+
+MAX_DNN_LENGTH = 100  # TS 23.003: APN up to 100 octets
+DFLAG_RAND = b"\xff" * 16  # paper §4.5: reserved RAND value marking diagnosis
+
+
+def encode_dnn(dnn: str) -> bytes:
+    """Encode a DNN string as length-prefixed labels (TS 23.003).
+
+    ``"internet"`` → ``b"\\x08internet"``; dots separate labels.
+    """
+    if not dnn:
+        raise IeError("DNN must be non-empty")
+    encoded = bytearray()
+    for label in dnn.split("."):
+        raw = label.encode("ascii")
+        if not 1 <= len(raw) <= 63:
+            raise IeError(f"DNN label length out of range: {label!r}")
+        encoded.append(len(raw))
+        encoded.extend(raw)
+    if len(encoded) > MAX_DNN_LENGTH:
+        raise IeError(f"DNN exceeds {MAX_DNN_LENGTH} octets: {len(encoded)}")
+    return bytes(encoded)
+
+
+def decode_dnn(data: bytes) -> str:
+    """Decode length-prefixed DNN labels back to dotted form."""
+    labels = []
+    index = 0
+    while index < len(data):
+        length = data[index]
+        index += 1
+        if length == 0 or index + length > len(data):
+            raise IeError("corrupt DNN label length")
+        labels.append(data[index : index + length].decode("ascii", errors="strict"))
+        index += length
+    if not labels:
+        raise IeError("empty DNN")
+    return ".".join(labels)
+
+
+def encode_dnn_opaque(payload: bytes) -> bytes:
+    """Encode an opaque (diagnosis) payload into the DNN field.
+
+    SEED's uplink report is binary ciphertext, not ASCII labels; it is
+    carried as consecutive ≤63-byte pseudo-labels so the field remains
+    structurally valid to intermediate nodes that only check label
+    framing (the paper leverages the field's "undefined" content space).
+    """
+    encoded = bytearray()
+    for offset in range(0, len(payload), 63):
+        chunk = payload[offset : offset + 63]
+        encoded.append(len(chunk))
+        encoded.extend(chunk)
+    if len(encoded) > MAX_DNN_LENGTH:
+        raise IeError(
+            f"diagnosis payload needs {len(encoded)} octets; fragment it "
+            f"across multiple requests (max {MAX_DNN_LENGTH})"
+        )
+    return bytes(encoded)
+
+
+def decode_dnn_opaque(data: bytes) -> bytes:
+    """Reassemble an opaque payload from pseudo-labels."""
+    payload = bytearray()
+    index = 0
+    while index < len(data):
+        length = data[index]
+        index += 1
+        if length == 0 or index + length > len(data):
+            raise IeError("corrupt opaque DNN framing")
+        payload.extend(data[index : index + length])
+        index += length
+    return bytes(payload)
+
+
+def max_opaque_dnn_payload() -> int:
+    """Largest opaque payload one DNN field can carry."""
+    # Each 63-byte chunk costs 1 framing byte; 100 = 1+63 + 1+35.
+    full_chunks, remainder_budget = divmod(MAX_DNN_LENGTH, 64)
+    payload = full_chunks * 63
+    if remainder_budget > 1:
+        payload += remainder_budget - 1
+    return payload
+
+
+@dataclass(frozen=True)
+class SNssai:
+    """Single network slice selection assistance information."""
+
+    sst: int  # slice/service type, 1 byte
+    sd: int | None = None  # slice differentiator, 3 bytes
+
+    def encode(self) -> bytes:
+        if not 0 <= self.sst <= 0xFF:
+            raise IeError("SST out of range")
+        if self.sd is None:
+            return bytes([1, self.sst])
+        if not 0 <= self.sd <= 0xFFFFFF:
+            raise IeError("SD out of range")
+        return bytes([4, self.sst]) + self.sd.to_bytes(3, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SNssai":
+        if not data:
+            raise IeError("empty S-NSSAI")
+        length = data[0]
+        if length == 1 and len(data) >= 2:
+            return cls(sst=data[1])
+        if length == 4 and len(data) >= 5:
+            return cls(sst=data[1], sd=int.from_bytes(data[2:5], "big"))
+        raise IeError(f"unsupported S-NSSAI length {length}")
+
+
+def encode_cause(code: int) -> bytes:
+    if not 0 <= code <= 0xFF:
+        raise IeError("cause code out of range")
+    return bytes([code])
+
+
+def decode_cause(data: bytes) -> int:
+    if len(data) != 1:
+        raise IeError("cause IE must be 1 byte")
+    return data[0]
+
+
+def validate_rand(rand: bytes) -> bytes:
+    if len(rand) != 16:
+        raise IeError("RAND must be 16 bytes")
+    return bytes(rand)
+
+
+def validate_autn(autn: bytes) -> bytes:
+    if len(autn) != 16:
+        raise IeError("AUTN must be 16 bytes")
+    return bytes(autn)
+
+
+def is_dflag(rand: bytes) -> bool:
+    """True when RAND is the reserved diagnosis flag (paper §4.5)."""
+    return rand == DFLAG_RAND

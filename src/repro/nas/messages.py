@@ -1,0 +1,235 @@
+"""NAS message dataclasses (5GMM + 5GSM subset, TS 24.501).
+
+Each message knows its wire message type so the codec in
+:mod:`repro.nas.codec` can round-trip it. Only the fields the
+reproduction exercises are modeled; every field SEED reads or writes
+(cause codes, RAND/AUTN, DNN, PDU session ids, TFT payloads) is
+present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MessageType:
+    """5GMM / 5GSM message-type codes (TS 24.501 tables 9.7.1/9.7.2)."""
+
+    # 5GMM
+    REGISTRATION_REQUEST = 0x41
+    REGISTRATION_ACCEPT = 0x42
+    REGISTRATION_REJECT = 0x44
+    DEREGISTRATION_REQUEST = 0x45
+    SERVICE_REQUEST = 0x4C
+    SERVICE_REJECT = 0x4D
+    AUTHENTICATION_REQUEST = 0x56
+    AUTHENTICATION_RESPONSE = 0x57
+    AUTHENTICATION_REJECT = 0x58
+    AUTHENTICATION_FAILURE = 0x59
+    # 5GSM
+    PDU_SESSION_ESTABLISHMENT_REQUEST = 0xC1
+    PDU_SESSION_ESTABLISHMENT_ACCEPT = 0xC2
+    PDU_SESSION_ESTABLISHMENT_REJECT = 0xC3
+    PDU_SESSION_MODIFICATION_REQUEST = 0xC9
+    PDU_SESSION_MODIFICATION_REJECT = 0xCA
+    PDU_SESSION_MODIFICATION_COMMAND = 0xCB
+    PDU_SESSION_RELEASE_REQUEST = 0xD1
+    PDU_SESSION_RELEASE_COMMAND = 0xD3
+
+
+@dataclass
+class NasMessage:
+    """Base class; subclasses set ``MESSAGE_TYPE``."""
+
+    MESSAGE_TYPE: int = field(default=0, init=False, repr=False)
+
+    @property
+    def is_session_management(self) -> bool:
+        return self.MESSAGE_TYPE >= 0xC0
+
+
+# ---------------------------------------------------------------------------
+# 5GMM — registration / service / authentication
+# ---------------------------------------------------------------------------
+@dataclass
+class RegistrationRequest(NasMessage):
+    """Initial/mobility registration (control-plane setup step 1)."""
+
+    supi: str = ""
+    guti: str | None = None
+    requested_plmn: str = ""
+    tracking_area: int = 0
+    capabilities: tuple[str, ...] = ("5G",)
+    requested_sst: int = 1  # requested network slice (S-NSSAI SST)
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.REGISTRATION_REQUEST
+
+
+@dataclass
+class RegistrationAccept(NasMessage):
+    guti: str = ""
+    tracking_area_list: tuple[int, ...] = ()
+    t3512_seconds: float = 3240.0  # periodic registration timer
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.REGISTRATION_ACCEPT
+
+
+@dataclass
+class RegistrationReject(NasMessage):
+    cause: int = 0
+    t3502_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.REGISTRATION_REJECT
+
+
+@dataclass
+class DeregistrationRequest(NasMessage):
+    supi: str = ""
+    switch_off: bool = False
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.DEREGISTRATION_REQUEST
+
+
+@dataclass
+class ServiceRequest(NasMessage):
+    guti: str = ""
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.SERVICE_REQUEST
+
+
+@dataclass
+class ServiceReject(NasMessage):
+    cause: int = 0
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.SERVICE_REJECT
+
+
+@dataclass
+class AuthenticationRequest(NasMessage):
+    """Mutual-authentication challenge; SEED's downlink carrier (§4.5).
+
+    When ``rand`` equals the reserved all-FF DFlag, ``autn`` carries a
+    sealed diagnosis payload instead of a real authentication token.
+    """
+
+    rand: bytes = b"\x00" * 16
+    autn: bytes = b"\x00" * 16
+    ngksi: int = 0
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.AUTHENTICATION_REQUEST
+
+
+@dataclass
+class AuthenticationResponse(NasMessage):
+    res: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.AUTHENTICATION_RESPONSE
+
+
+@dataclass
+class AuthenticationFailure(NasMessage):
+    """UE-side auth failure; ``cause=21`` (synch failure) doubles as the
+    SIM's ACK for a received diagnosis payload (paper Figure 7a)."""
+
+    cause: int = 0
+    auts: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.AUTHENTICATION_FAILURE
+
+
+# ---------------------------------------------------------------------------
+# 5GSM — PDU session management
+# ---------------------------------------------------------------------------
+@dataclass
+class PduSessionEstablishmentRequest(NasMessage):
+    """Data-plane setup; SEED's uplink carrier when DNN starts "DIAG"."""
+
+    pdu_session_id: int = 1
+    dnn: str = "internet"
+    dnn_raw: bytes | None = None  # opaque diagnosis payload framing
+    pdu_session_type: str = "IPv4"
+    s_nssai_sst: int = 1
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_ESTABLISHMENT_REQUEST
+
+    @property
+    def is_diagnosis(self) -> bool:
+        return self.dnn.startswith("DIAG")
+
+
+@dataclass
+class PduSessionEstablishmentAccept(NasMessage):
+    pdu_session_id: int = 1
+    ip_address: str = ""
+    dns_server: str = ""
+    qos_5qi: int = 9
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_ESTABLISHMENT_ACCEPT
+
+
+@dataclass
+class PduSessionEstablishmentReject(NasMessage):
+    pdu_session_id: int = 1
+    cause: int = 0
+    is_ack: bool = False  # reject-as-ACK for diagnosis requests (Fig 7b)
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_ESTABLISHMENT_REJECT
+
+
+@dataclass
+class PduSessionModificationRequest(NasMessage):
+    pdu_session_id: int = 1
+    requested_tft: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_MODIFICATION_REQUEST
+
+
+@dataclass
+class PduSessionModificationReject(NasMessage):
+    pdu_session_id: int = 1
+    cause: int = 0
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_MODIFICATION_REJECT
+
+
+@dataclass
+class PduSessionModificationCommand(NasMessage):
+    """Network-initiated session modification (e.g. TFT/DNS update)."""
+
+    pdu_session_id: int = 1
+    new_tft: tuple[str, ...] = ()
+    new_dns_server: str | None = None
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_MODIFICATION_COMMAND
+
+
+@dataclass
+class PduSessionReleaseRequest(NasMessage):
+    pdu_session_id: int = 1
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_RELEASE_REQUEST
+
+
+@dataclass
+class PduSessionReleaseCommand(NasMessage):
+    pdu_session_id: int = 1
+    cause: int = 36  # regular deactivation
+
+    def __post_init__(self) -> None:
+        self.MESSAGE_TYPE = MessageType.PDU_SESSION_RELEASE_COMMAND

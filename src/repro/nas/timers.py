@@ -1,0 +1,58 @@
+"""Standard NAS protocol timers (TS 24.501 §10.2, TS 24.301).
+
+These values drive the legacy modem's retry behaviour, which the paper
+(§2, §3.2) identifies as the source of prolonged disruptions: e.g. a
+lost Registration Request is retried after T3511 = 10 s, and after five
+attempts the modem backs off for T3502 = 12 minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StandardTimers:
+    """Default NAS timer values in seconds.
+
+    Instances are immutable; experiments that want shorter timers (for
+    fast unit tests) create a modified copy via ``replace``.
+    """
+
+    # Registration / mobility management
+    t3502: float = 720.0   # wait after 5 failed registration attempts (12 min)
+    t3510: float = 15.0    # registration request guard
+    t3511: float = 10.0    # retry after registration failure (lower-layer)
+    t3512: float = 3240.0  # periodic registration update (54 min)
+    t3517: float = 5.0     # service request guard
+    t3520: float = 15.0    # authentication failure guard
+    t3540: float = 10.0    # release guard after reject
+
+    # Session management
+    t3580: float = 16.0    # PDU session establishment request retry
+    t3581: float = 16.0    # PDU session modification retry
+    t3582: float = 16.0    # PDU session release retry
+
+    # Attempt counters (TS 24.501 §5.5.1.2.7: abort after 5 attempts)
+    max_registration_attempts: int = 5
+    max_session_attempts: int = 5
+
+    def scaled(self, factor: float) -> "StandardTimers":
+        """Uniformly scaled copy (used by fast test configurations)."""
+        return StandardTimers(
+            t3502=self.t3502 * factor,
+            t3510=self.t3510 * factor,
+            t3511=self.t3511 * factor,
+            t3512=self.t3512 * factor,
+            t3517=self.t3517 * factor,
+            t3520=self.t3520 * factor,
+            t3540=self.t3540 * factor,
+            t3580=self.t3580 * factor,
+            t3581=self.t3581 * factor,
+            t3582=self.t3582 * factor,
+            max_registration_attempts=self.max_registration_attempts,
+            max_session_attempts=self.max_session_attempts,
+        )
+
+
+DEFAULT_TIMERS = StandardTimers()

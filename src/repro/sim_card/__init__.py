@@ -1,0 +1,35 @@
+"""SIM/eSIM card substrate.
+
+Models the pieces of a Javacard UICC that SEED relies on: the ISO
+7816-4 APDU transport (:mod:`repro.sim_card.apdu`), the UICC file
+system holding the subscriber profile (:mod:`repro.sim_card.filesystem`,
+:mod:`repro.sim_card.profile`), an applet runtime with explicit
+EEPROM/RAM budgets matching the paper's Javacard eSIM (180 KB EEPROM /
+8 KB RAM) (:mod:`repro.sim_card.applet_rt`), Card Application Toolkit
+proactive commands (:mod:`repro.sim_card.proactive`), and the OTA
+update channel (:mod:`repro.sim_card.ota`).
+"""
+
+from repro.sim_card.apdu import Apdu, ApduError, ApduResponse, StatusWord
+from repro.sim_card.applet_rt import Applet, AppletRuntime, StorageExceeded
+from repro.sim_card.filesystem import FileId, UiccFileSystem
+from repro.sim_card.profile import SimProfile
+from repro.sim_card.proactive import ProactiveCommand, ProactiveKind
+from repro.sim_card.ota import OtaChannel, OtaError
+
+__all__ = [
+    "Apdu",
+    "ApduError",
+    "ApduResponse",
+    "Applet",
+    "AppletRuntime",
+    "FileId",
+    "OtaChannel",
+    "OtaError",
+    "ProactiveCommand",
+    "ProactiveKind",
+    "SimProfile",
+    "StatusWord",
+    "StorageExceeded",
+    "UiccFileSystem",
+]

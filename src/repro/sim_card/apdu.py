@@ -1,0 +1,116 @@
+"""ISO/IEC 7816-4 APDU command/response model.
+
+The modem talks to the SIM exclusively through APDUs; SEED's diagnostic
+module "receives the infrastructure assistance information through the
+modem with APDU interface" (paper §6). We model command APDUs with the
+short-form header (CLA INS P1 P2 [Lc data] [Le]) and response APDUs
+with SW1/SW2 status words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ApduError(ValueError):
+    """Malformed APDU."""
+
+
+class StatusWord:
+    """Common SW1SW2 status words."""
+
+    OK = 0x9000
+    BYTES_REMAINING = 0x6100            # 61 XX
+    WRONG_LENGTH = 0x6700
+    CONDITIONS_NOT_SATISFIED = 0x6985
+    WRONG_DATA = 0x6A80
+    FILE_NOT_FOUND = 0x6A82
+    INS_NOT_SUPPORTED = 0x6D00
+    CLA_NOT_SUPPORTED = 0x6E00
+    # Proactive UICC: a proactive command is pending (ETSI TS 102 223)
+    PROACTIVE_PENDING = 0x9100          # 91 XX, XX = length
+
+
+class Ins:
+    """Instruction bytes used in this reproduction."""
+
+    SELECT = 0xA4
+    READ_BINARY = 0xB0
+    UPDATE_BINARY = 0xD6
+    FETCH = 0x12          # fetch pending proactive command
+    TERMINAL_RESPONSE = 0x14
+    ENVELOPE = 0xC2       # deliver event/data to the applet
+    AUTHENTICATE = 0x88   # UMTS/5G AKA authentication
+    # Vendor-range instruction the SEED carrier app uses to talk to the
+    # applet (within the operator-controlled proprietary CLA space).
+    SEED_REPORT = 0xE2
+
+
+@dataclass
+class Apdu:
+    """A command APDU."""
+
+    cla: int
+    ins: int
+    p1: int = 0
+    p2: int = 0
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        for name, value in (("cla", self.cla), ("ins", self.ins), ("p1", self.p1), ("p2", self.p2)):
+            if not 0 <= value <= 0xFF:
+                raise ApduError(f"{name} out of byte range: {value}")
+        if len(self.data) > 255:
+            raise ApduError("short APDU data field limited to 255 bytes")
+
+    def encode(self) -> bytes:
+        header = bytes([self.cla, self.ins, self.p1, self.p2])
+        if self.data:
+            return header + bytes([len(self.data)]) + self.data
+        return header
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Apdu":
+        if len(raw) < 4:
+            raise ApduError("APDU shorter than 4-byte header")
+        cla, ins, p1, p2 = raw[0], raw[1], raw[2], raw[3]
+        data = b""
+        if len(raw) > 4:
+            lc = raw[4]
+            data = raw[5 : 5 + lc]
+            if len(data) != lc:
+                raise ApduError("Lc does not match data length")
+        return cls(cla, ins, p1, p2, data)
+
+
+@dataclass
+class ApduResponse:
+    """A response APDU: optional data plus SW1SW2."""
+
+    sw: int = StatusWord.OK
+    data: bytes = b""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.sw == StatusWord.OK or (self.sw & 0xFF00) == StatusWord.PROACTIVE_PENDING
+
+    @property
+    def proactive_pending(self) -> bool:
+        """True when SW1 = 0x91: a proactive command awaits FETCH."""
+        return (self.sw & 0xFF00) == StatusWord.PROACTIVE_PENDING
+
+    @property
+    def pending_length(self) -> int:
+        if not self.proactive_pending:
+            return 0
+        return self.sw & 0xFF
+
+    def encode(self) -> bytes:
+        return self.data + bytes([(self.sw >> 8) & 0xFF, self.sw & 0xFF])
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ApduResponse":
+        if len(raw) < 2:
+            raise ApduError("response APDU shorter than status word")
+        return cls(sw=(raw[-2] << 8) | raw[-1], data=raw[:-2])

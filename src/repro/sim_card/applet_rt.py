@@ -1,0 +1,193 @@
+"""Javacard-style applet runtime with explicit resource budgets.
+
+The paper's feasibility argument rests on SEED fitting "SIM's
+constrained hardware capability" (§4.2): 32–128 KB of EEPROM on common
+SIMs, 180 KB on their test eSIM, 8 KB RAM. This runtime makes those
+limits *enforced invariants*: applets declare code size, account every
+persistent write against the EEPROM budget, and every transient buffer
+against RAM. Tests install the SEED applet and prove it stays within
+the paper's budgets; property tests prove the runtime rejects overage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim_card.apdu import Apdu, ApduResponse, StatusWord
+from repro.sim_card.filesystem import UiccFileSystem
+from repro.sim_card.proactive import ProactiveCommand
+
+
+class StorageExceeded(MemoryError):
+    """An applet tried to exceed its declared EEPROM/RAM budget."""
+
+
+class InstallError(RuntimeError):
+    """Applet installation rejected (bad signature, no space, ...)."""
+
+
+@dataclass
+class Applet:
+    """Base class for card applets.
+
+    Subclasses implement :meth:`process` (APDU dispatch). Persistent
+    state must go through :meth:`persist`, transient buffers through
+    :meth:`allocate_transient`, so the runtime can account them.
+    """
+
+    aid: str = "A0000000000000"
+    code_size: int = 0
+    _runtime: "AppletRuntime | None" = field(default=None, repr=False)
+    _persistent: dict[str, bytes] = field(default_factory=dict, repr=False)
+    _transient_bytes: int = field(default=0, repr=False)
+
+    # -- lifecycle -------------------------------------------------------
+    def on_install(self) -> None:
+        """Hook called after installation."""
+
+    def process(self, apdu: Apdu) -> ApduResponse:
+        """Handle a command APDU."""
+        raise NotImplementedError
+
+    # -- resource-accounted storage --------------------------------------
+    def persist(self, key: str, value: bytes) -> None:
+        """Store persistent (EEPROM) applet data."""
+        if self._runtime is None:
+            raise RuntimeError("applet not installed")
+        old = len(self._persistent.get(key, b""))
+        self._runtime._charge_eeprom(len(value) - old)
+        self._persistent[key] = bytes(value)
+
+    def recall(self, key: str, default: bytes = b"") -> bytes:
+        return self._persistent.get(key, default)
+
+    def erase(self, key: str) -> None:
+        value = self._persistent.pop(key, None)
+        if value is not None and self._runtime is not None:
+            self._runtime._charge_eeprom(-len(value))
+
+    def persistent_bytes(self) -> int:
+        return sum(len(v) for v in self._persistent.values())
+
+    def allocate_transient(self, size: int) -> None:
+        """Reserve RAM for the current command processing."""
+        if self._runtime is None:
+            raise RuntimeError("applet not installed")
+        self._runtime._charge_ram(size)
+        self._transient_bytes += size
+
+    def release_transient(self) -> None:
+        if self._runtime is not None:
+            self._runtime._charge_ram(-self._transient_bytes)
+        self._transient_bytes = 0
+
+    # -- proactive interface ----------------------------------------------
+    def queue_proactive(self, command: ProactiveCommand) -> None:
+        """Queue a proactive command for the terminal to FETCH."""
+        if self._runtime is None:
+            raise RuntimeError("applet not installed")
+        self._runtime.proactive_queue.append(command)
+
+
+class AppletRuntime:
+    """The card OS: installs applets, routes APDUs, enforces budgets.
+
+    Parameters mirror the paper's test card: 180 KB EEPROM, 8 KB RAM.
+    ``carrier_key`` models the GlobalPlatform install key — only
+    installs presenting it succeed ("The applet could only be installed
+    with the carrier's key", §7.3).
+    """
+
+    def __init__(
+        self,
+        eeprom_bytes: int = 180 * 1024,
+        ram_bytes: int = 8 * 1024,
+        carrier_key: bytes = b"\x01" * 16,
+    ) -> None:
+        self.fs = UiccFileSystem(capacity_bytes=eeprom_bytes)
+        self.eeprom_bytes = eeprom_bytes
+        self.ram_bytes = ram_bytes
+        self.carrier_key = bytes(carrier_key)
+        self.applets: dict[str, Applet] = {}
+        self.proactive_queue: list[ProactiveCommand] = []
+        self._applet_eeprom_used = 0
+        self._ram_used = 0
+
+    # ------------------------------------------------------------------
+    # Budget accounting (shared by file system + applet storage + code)
+    # ------------------------------------------------------------------
+    def eeprom_used(self) -> int:
+        return self.fs.used_bytes() + self._applet_eeprom_used + sum(
+            a.code_size for a in self.applets.values()
+        )
+
+    def eeprom_free(self) -> int:
+        return self.eeprom_bytes - self.eeprom_used()
+
+    def ram_used(self) -> int:
+        return self._ram_used
+
+    def _charge_eeprom(self, delta: int) -> None:
+        if delta > 0 and self.eeprom_used() + delta > self.eeprom_bytes:
+            raise StorageExceeded(
+                f"EEPROM budget exceeded: need {delta}, free {self.eeprom_free()}"
+            )
+        self._applet_eeprom_used = max(0, self._applet_eeprom_used + delta)
+
+    def _charge_ram(self, delta: int) -> None:
+        if delta > 0 and self._ram_used + delta > self.ram_bytes:
+            raise StorageExceeded(
+                f"RAM budget exceeded: need {delta}, free {self.ram_bytes - self._ram_used}"
+            )
+        self._ram_used = max(0, self._ram_used + delta)
+
+    # ------------------------------------------------------------------
+    # Installation and dispatch
+    # ------------------------------------------------------------------
+    def install(self, applet: Applet, carrier_key: bytes) -> None:
+        """Install an applet; requires the carrier key (OTA or factory)."""
+        if carrier_key != self.carrier_key:
+            raise InstallError("install rejected: carrier key mismatch")
+        if applet.aid in self.applets:
+            raise InstallError(f"AID {applet.aid} already installed")
+        if applet.code_size > self.eeprom_free():
+            raise StorageExceeded(
+                f"applet code {applet.code_size} B exceeds free EEPROM {self.eeprom_free()} B"
+            )
+        applet._runtime = self
+        self.applets[applet.aid] = applet
+        applet.on_install()
+
+    def uninstall(self, aid: str, carrier_key: bytes) -> None:
+        if carrier_key != self.carrier_key:
+            raise InstallError("uninstall rejected: carrier key mismatch")
+        applet = self.applets.pop(aid, None)
+        if applet is not None:
+            self._applet_eeprom_used -= applet.persistent_bytes()
+            applet._runtime = None
+
+    def transmit(self, aid: str, apdu: Apdu) -> ApduResponse:
+        """Route a command APDU to an applet; surfaces proactive SW."""
+        applet = self.applets.get(aid)
+        if applet is None:
+            return ApduResponse(sw=StatusWord.FILE_NOT_FOUND)
+        response = applet.process(apdu)
+        # The card returns to idle after each exchange: transient (RAM)
+        # buffers of every applet are reclaimed, including applets
+        # reached indirectly through inter-applet delegation.
+        for active in self.applets.values():
+            active.release_transient()
+        if response.sw == StatusWord.OK and self.proactive_queue:
+            pending = self.proactive_queue[0].encode()
+            response = ApduResponse(
+                sw=StatusWord.PROACTIVE_PENDING | min(0xFF, len(pending)),
+                data=response.data,
+                meta=response.meta,
+            )
+        return response
+
+    def fetch(self) -> ProactiveCommand | None:
+        """Terminal FETCHes the next pending proactive command."""
+        if not self.proactive_queue:
+            return None
+        return self.proactive_queue.pop(0)

@@ -1,0 +1,104 @@
+"""UICC elementary-file system (TS 102 221 / TS 31.102 subset).
+
+The SIM profile lives in elementary files (EFs) under dedicated files
+(DFs). SEED's profile-reload reset (A1) works by telling the modem (via
+a REFRESH proactive command) to re-read these files; configuration
+updates (A2/A3) rewrite them first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FsError(KeyError):
+    """File not found or access violation."""
+
+
+class FileId(enum.IntEnum):
+    """Well-known file identifiers (TS 31.102 §4.2, plus SEED's EFs)."""
+
+    MF = 0x3F00                # master file
+    DF_5GS = 0x5FC0            # 5GS dedicated file
+    EF_IMSI = 0x6F07
+    EF_AD = 0x6FAD             # administrative data
+    EF_PLMN_SEL = 0x6F30       # PLMN selector (user controlled)
+    EF_OPLMN_ACT = 0x6F61      # operator-controlled PLMN list
+    EF_FPLMN = 0x7F62          # forbidden PLMN list (vendor id here)
+    EF_LOCI = 0x6F7E           # location information (TMSI/GUTI, TAI)
+    EF_PSLOCI = 0x6F73         # PS location information
+    EF_5GS3GPPLOCI = 0x4F01    # 5GS location information
+    EF_UST = 0x6F38            # USIM service table
+    EF_ACC = 0x6F78            # access control class
+    EF_APN_LIST = 0x6F62       # APN/DNN configuration (operator area)
+    EF_SEED_STATE = 0x4FEE     # SEED applet persistent state
+    EF_SEED_RECORDS = 0x4FEF   # SEED online-learning records
+
+
+@dataclass
+class ElementaryFile:
+    """One EF: raw bytes plus an update counter (wear accounting)."""
+
+    file_id: int
+    content: bytes = b""
+    updates: int = 0
+    read_only: bool = False
+
+    def size(self) -> int:
+        return len(self.content)
+
+
+@dataclass
+class UiccFileSystem:
+    """A flat EF store with capacity accounting.
+
+    Real UICC file systems are hierarchical; the reproduction flattens
+    the hierarchy (ids are unique anyway) but keeps what matters to
+    SEED: per-file update counters and an EEPROM capacity ceiling.
+    """
+
+    capacity_bytes: int = 180 * 1024  # paper's eSIM: 180 KB EEPROM
+    files: dict[int, ElementaryFile] = field(default_factory=dict)
+
+    def used_bytes(self) -> int:
+        return sum(f.size() for f in self.files.values())
+
+    def create(self, file_id: int, content: bytes = b"", read_only: bool = False) -> ElementaryFile:
+        if file_id in self.files:
+            raise FsError(f"EF {file_id:#06x} already exists")
+        self._check_capacity(len(content))
+        ef = ElementaryFile(file_id=file_id, content=bytes(content), read_only=read_only)
+        self.files[file_id] = ef
+        return ef
+
+    def read(self, file_id: int) -> bytes:
+        ef = self.files.get(file_id)
+        if ef is None:
+            raise FsError(f"EF {file_id:#06x} not found")
+        return ef.content
+
+    def update(self, file_id: int, content: bytes) -> None:
+        ef = self.files.get(file_id)
+        if ef is None:
+            raise FsError(f"EF {file_id:#06x} not found")
+        if ef.read_only:
+            raise FsError(f"EF {file_id:#06x} is read-only")
+        self._check_capacity(len(content) - ef.size())
+        ef.content = bytes(content)
+        ef.updates += 1
+
+    def exists(self, file_id: int) -> bool:
+        return file_id in self.files
+
+    def delete(self, file_id: int) -> None:
+        if file_id not in self.files:
+            raise FsError(f"EF {file_id:#06x} not found")
+        del self.files[file_id]
+
+    def _check_capacity(self, delta: int) -> None:
+        if delta > 0 and self.used_bytes() + delta > self.capacity_bytes:
+            raise FsError(
+                f"EEPROM capacity exceeded: {self.used_bytes() + delta} "
+                f"> {self.capacity_bytes}"
+            )

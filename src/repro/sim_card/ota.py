@@ -1,0 +1,62 @@
+"""SIM over-the-air (OTA) update channel (TS 102 225/226 flavour).
+
+Operators "can leverage the current practice via the OTA channel for
+software upgrade" (§1) — installing/updating the SEED applet — and the
+online-learning SIM records travel back over OTA when data service is
+up (§5.3, Algorithm 1 line 6). The paper is explicit that OTA *requires
+a working data session*; this model enforces that, which is exactly why
+the real-time collaboration channel of §4.5 exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.secure_channel import SecureChannel
+from repro.sim_card.applet_rt import Applet, AppletRuntime
+
+
+class OtaError(RuntimeError):
+    """OTA transfer failed (no data service, bad credentials)."""
+
+
+@dataclass
+class OtaChannel:
+    """Operator↔SIM message channel riding on the data plane.
+
+    ``data_service_up`` is probed on every transfer; when the data
+    plane is broken the channel is unavailable (paper §4.5).
+    Payloads are sealed with the carrier OTA key.
+    """
+
+    runtime: AppletRuntime
+    data_service_up: Callable[[], bool]
+    ota_key: bytes = b"\x02" * 16
+    uplink_log: list[bytes] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._to_card = SecureChannel(self.ota_key, direction=1)
+        self._card_rx = SecureChannel(self.ota_key, direction=1)
+        self._from_card = SecureChannel(self.ota_key, direction=0)
+        self._operator_rx = SecureChannel(self.ota_key, direction=0)
+
+    def install_applet(self, applet: Applet, carrier_key: bytes) -> None:
+        """Install/upgrade an applet over OTA."""
+        if not self.data_service_up():
+            raise OtaError("OTA unavailable: data service down")
+        self.runtime.install(applet, carrier_key)
+
+    def push_to_card(self, payload: bytes) -> bytes:
+        """Operator → SIM payload; returns the plaintext as delivered."""
+        if not self.data_service_up():
+            raise OtaError("OTA unavailable: data service down")
+        return self._card_rx.open(self._to_card.seal(payload))
+
+    def send_from_card(self, payload: bytes) -> bytes:
+        """SIM → operator payload (e.g. SIMRecord uploads, Alg 1 l.6)."""
+        if not self.data_service_up():
+            raise OtaError("OTA unavailable: data service down")
+        plaintext = self._operator_rx.open(self._from_card.seal(payload))
+        self.uplink_log.append(plaintext)
+        return plaintext

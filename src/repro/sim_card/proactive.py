@@ -1,0 +1,108 @@
+"""Card Application Toolkit proactive commands (ETSI TS 102 223).
+
+Proactive commands are how a SIM applet makes the *terminal* (modem/OS)
+do things — the inversion SEED-U exploits: "SEED-U leverages the
+proactive commands between the SIM and the modem to realize these two
+actions ... the first to leverage it for failure handling" (§4.4.1).
+
+The subset modeled is what SEED uses:
+
+* REFRESH — with modes from plain file notification up to UICC reset;
+  SEED's A1 (profile reload) issues ``USIM_INITIALIZATION`` /
+  ``UICC_RESET``.
+* PROVIDE_LOCAL_INFORMATION — reading terminal state.
+* SEND_AT_COMMAND — present in the standard; on IoT modems it lets the
+  SIM drive the modem directly (paper §9 notes smartphones don't expose
+  it yet, which is why SEED-R needs the rooted carrier app instead).
+* DISPLAY_TEXT — user notification for user-action-required failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ProactiveKind(enum.Enum):
+    """Proactive command type (TS 102 223 §8.6 type-of-command values)."""
+
+    REFRESH = 0x01
+    TIMER_MANAGEMENT = 0x27
+    PROVIDE_LOCAL_INFORMATION = 0x26
+    SEND_AT_COMMAND = 0x34
+    DISPLAY_TEXT = 0x21
+
+
+class RefreshMode(enum.Enum):
+    """REFRESH qualifier (TS 102 223 §8.6)."""
+
+    NAA_INIT = 0x00                  # init without full reset
+    FILE_CHANGE_NOTIFICATION = 0x01  # re-read listed files
+    NAA_INIT_AND_FILE_CHANGE = 0x02
+    NAA_INIT_AND_FULL_FILE_CHANGE = 0x03
+    UICC_RESET = 0x04                # terminal resets the UICC interface
+    NAA_APPLICATION_RESET = 0x05     # 3G session reset → re-registration
+
+
+@dataclass
+class ProactiveCommand:
+    """A pending proactive command plus its qualifier and payload."""
+
+    kind: ProactiveKind
+    qualifier: int = 0
+    files: tuple[int, ...] = ()      # REFRESH: EFs to re-read
+    text: str = ""                   # DISPLAY_TEXT / SEND_AT_COMMAND body
+    meta: dict = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """Simple BER-TLV-flavoured wire form (enough to round-trip)."""
+        body = bytearray([self.kind.value, self.qualifier])
+        body.append(len(self.files))
+        for file_id in self.files:
+            body.extend(int(file_id).to_bytes(2, "big"))
+        raw_text = self.text.encode("utf-8")
+        body.extend(len(raw_text).to_bytes(2, "big"))
+        body.extend(raw_text)
+        return bytes(body)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ProactiveCommand":
+        if len(raw) < 5:
+            raise ValueError("proactive command too short")
+        kind = ProactiveKind(raw[0])
+        qualifier = raw[1]
+        n_files = raw[2]
+        index = 3
+        files = []
+        for _ in range(n_files):
+            files.append(int.from_bytes(raw[index : index + 2], "big"))
+            index += 2
+        text_len = int.from_bytes(raw[index : index + 2], "big")
+        index += 2
+        text = raw[index : index + text_len].decode("utf-8")
+        return cls(kind=kind, qualifier=qualifier, files=tuple(files), text=text)
+
+
+def refresh_command(mode: RefreshMode, files: tuple[int, ...] = ()) -> ProactiveCommand:
+    """Build a REFRESH proactive command."""
+    return ProactiveCommand(kind=ProactiveKind.REFRESH, qualifier=mode.value, files=files)
+
+
+def display_text_command(text: str) -> ProactiveCommand:
+    """Build a DISPLAY_TEXT command (user notification, §5.2)."""
+    return ProactiveCommand(kind=ProactiveKind.DISPLAY_TEXT, text=text)
+
+
+def timer_command(timer_id: int, duration: float) -> ProactiveCommand:
+    """TIMER MANAGEMENT (start): ask the terminal to run a timer.
+
+    Javacard applets cannot schedule themselves; SEED's 2 s
+    transient-failure wait (§4.4.2) uses a CAT timer — the terminal
+    notifies the applet with a TIMER EXPIRATION envelope.
+    """
+    return ProactiveCommand(
+        kind=ProactiveKind.TIMER_MANAGEMENT,
+        qualifier=0,  # start
+        text=f"{timer_id}:{duration}",
+        meta={"timer_id": timer_id, "duration": duration},
+    )

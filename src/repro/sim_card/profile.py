@@ -1,0 +1,103 @@
+"""The SIM profile: identities, keys, and configurations.
+
+Paper Figure 1: the SIM stores "identities, keys, configurations"; the
+modem loads these to register. The profile is the unit SEED's A1 reset
+reloads and whose fields A2/A3 update. Serialisation to/from the UICC
+file system is JSON-over-EF (compact and debuggable; the real card uses
+packed BCD but nothing downstream depends on that encoding).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.sim_card.filesystem import FileId, UiccFileSystem
+
+
+@dataclass(frozen=True)
+class SimProfile:
+    """Immutable snapshot of the subscriber profile on the card.
+
+    Mutations (configuration updates) produce new snapshots via
+    ``with_updates``; the modem only sees a new snapshot after a
+    profile reload, which is exactly the paper's A1/A2 mechanics.
+    """
+
+    imsi: str = "001010000000001"
+    k: bytes = bytes(16)
+    opc: bytes = bytes(16)
+    home_plmn: str = "00101"
+    plmn_priority: tuple[str, ...] = ("00101",)
+    forbidden_plmns: tuple[str, ...] = ()
+    default_dnn: str = "internet"
+    dnn_list: tuple[str, ...] = ("internet",)
+    pdu_session_type: str = "IPv4"
+    s_nssai_sst: int = 1
+    supported_rats: tuple[str, ...] = ("5G", "LTE")
+    guti: str | None = None
+    last_tracking_area: int | None = None
+
+    def with_updates(self, **changes) -> "SimProfile":
+        """Functional update; unknown field names raise TypeError."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Persistence to the UICC file system
+    # ------------------------------------------------------------------
+    def to_files(self, fs: UiccFileSystem) -> None:
+        """Write the profile into its EFs (creating them if needed)."""
+        blobs = {
+            FileId.EF_IMSI: json.dumps({"imsi": self.imsi}).encode(),
+            FileId.EF_PLMN_SEL: json.dumps(
+                {"home": self.home_plmn, "priority": list(self.plmn_priority)}
+            ).encode(),
+            FileId.EF_FPLMN: json.dumps(list(self.forbidden_plmns)).encode(),
+            FileId.EF_APN_LIST: json.dumps(
+                {
+                    "default": self.default_dnn,
+                    "list": list(self.dnn_list),
+                    "pdu_type": self.pdu_session_type,
+                    "sst": self.s_nssai_sst,
+                }
+            ).encode(),
+            FileId.EF_AD: json.dumps({"rats": list(self.supported_rats)}).encode(),
+            FileId.EF_LOCI: json.dumps(
+                {"guti": self.guti, "ta": self.last_tracking_area}
+            ).encode(),
+        }
+        for file_id, blob in blobs.items():
+            if fs.exists(file_id):
+                fs.update(file_id, blob)
+            else:
+                fs.create(file_id, blob)
+
+    @classmethod
+    def from_files(cls, fs: UiccFileSystem, k: bytes, opc: bytes) -> "SimProfile":
+        """Reconstruct the profile from EFs (the modem's load path).
+
+        Keys never leave the card in the clear; callers supply them
+        from the secure element, mirroring reality where K/OPc are not
+        in readable EFs at all.
+        """
+        imsi = json.loads(fs.read(FileId.EF_IMSI))["imsi"]
+        plmn = json.loads(fs.read(FileId.EF_PLMN_SEL))
+        fplmn = json.loads(fs.read(FileId.EF_FPLMN))
+        apn = json.loads(fs.read(FileId.EF_APN_LIST))
+        ad = json.loads(fs.read(FileId.EF_AD))
+        loci = json.loads(fs.read(FileId.EF_LOCI))
+        return cls(
+            imsi=imsi,
+            k=k,
+            opc=opc,
+            home_plmn=plmn["home"],
+            plmn_priority=tuple(plmn["priority"]),
+            forbidden_plmns=tuple(fplmn),
+            default_dnn=apn["default"],
+            dnn_list=tuple(apn["list"]),
+            pdu_session_type=apn["pdu_type"],
+            s_nssai_sst=apn["sst"],
+            supported_rats=tuple(ad["rats"]),
+            guti=loci["guti"],
+            last_tracking_area=loci["ta"],
+        )

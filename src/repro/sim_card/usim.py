@@ -1,0 +1,82 @@
+"""The USIM application: AKA authentication and profile access.
+
+The USIM is the network-access application on the card. It computes
+the Milenage AKA response for AUTHENTICATE APDUs, and — this is SEED's
+hook — when the challenge RAND equals the reserved all-FF DFlag it
+does *not* run AKA but hands the AUTN payload to the registered
+diagnosis delegate (the SEED applet) and answers with a
+synchronisation-failure carrying a diagnosis ACK (paper §4.5, Fig 7a).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nas import ies
+from repro.sim_card.apdu import Apdu, ApduResponse, Ins, StatusWord
+from repro.sim_card.applet_rt import Applet
+from repro.sim_card.profile import SimProfile
+from repro.crypto.milenage import Milenage
+
+# Authenticate response framing (first data byte).
+AUTH_TAG_RES = 0x00
+AUTH_TAG_SYNC_FAILURE = 0x01
+AUTH_TAG_MAC_FAILURE = 0x02
+
+USIM_AID = "A0000000871002"
+
+
+class UsimApplet(Applet):
+    """Base network-access applet holding the subscriber profile."""
+
+    def __init__(self, profile: SimProfile, code_size: int = 24_000) -> None:
+        super().__init__(aid=USIM_AID, code_size=code_size)
+        self.profile = profile
+        self._milenage = Milenage(profile.k, opc=profile.opc)
+        self.diagnosis_delegate: Callable[[bytes], bytes | None] | None = None
+        self.auth_count = 0
+        self.diag_count = 0
+
+    def on_install(self) -> None:
+        self.persist("imsi", self.profile.imsi.encode())
+
+    # ------------------------------------------------------------------
+    def set_profile(self, profile: SimProfile) -> None:
+        """Replace the profile (configuration update path)."""
+        self.profile = profile
+        self._milenage = Milenage(profile.k, opc=profile.opc)
+
+    def register_diagnosis_delegate(self, delegate: Callable[[bytes], bytes | None]) -> None:
+        """SEED applet hooks itself in; delegate(autn) -> ack payload."""
+        self.diagnosis_delegate = delegate
+
+    # ------------------------------------------------------------------
+    def process(self, apdu: Apdu) -> ApduResponse:
+        if apdu.ins == Ins.AUTHENTICATE:
+            return self._authenticate(apdu)
+        if apdu.ins == Ins.READ_BINARY:
+            return ApduResponse(data=self.recall("imsi"))
+        return ApduResponse(sw=StatusWord.INS_NOT_SUPPORTED)
+
+    def _authenticate(self, apdu: Apdu) -> ApduResponse:
+        if len(apdu.data) != 32:
+            return ApduResponse(sw=StatusWord.WRONG_LENGTH)
+        rand, autn = apdu.data[:16], apdu.data[16:]
+        self.allocate_transient(64)
+
+        if ies.is_dflag(rand):
+            # SEED downlink diagnosis payload rides the AUTN field.
+            self.diag_count += 1
+            ack = b"DACK"
+            if self.diagnosis_delegate is not None:
+                delegated = self.diagnosis_delegate(autn)
+                if delegated:
+                    ack = delegated
+            return ApduResponse(data=bytes([AUTH_TAG_SYNC_FAILURE]) + ack)
+
+        mac_ok, _sqn = self._milenage.verify_autn(rand, autn)
+        if not mac_ok:
+            return ApduResponse(data=bytes([AUTH_TAG_MAC_FAILURE]))
+        self.auth_count += 1
+        res = self._milenage.f2(rand)
+        return ApduResponse(data=bytes([AUTH_TAG_RES]) + res)

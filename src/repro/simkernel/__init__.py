@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel used by every substrate in the repo.
+
+The kernel is deliberately small: a time-ordered event queue
+(:class:`~repro.simkernel.simulator.Simulator`), cancellable timers
+(:class:`~repro.simkernel.events.Event`), generator-based processes
+(:mod:`repro.simkernel.process`), named deterministic RNG streams
+(:mod:`repro.simkernel.rng`), and measurement probes
+(:mod:`repro.simkernel.monitor`).
+
+Everything in the SEED reproduction — NAS procedures, Android timers,
+SIM applet decisions, core-network processing — is expressed as events
+on one simulator instance, so experiment runs are fully deterministic
+given a seed.
+"""
+
+from repro.simkernel.events import Event, EventState
+from repro.simkernel.monitor import Monitor, TimeSeries
+from repro.simkernel.process import Process, Sleep, Waiter
+from repro.simkernel.rng import RngStreams
+from repro.simkernel.simulator import Simulator
+
+__all__ = [
+    "Event",
+    "EventState",
+    "Monitor",
+    "Process",
+    "RngStreams",
+    "Simulator",
+    "Sleep",
+    "TimeSeries",
+    "Waiter",
+]

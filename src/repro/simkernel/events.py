@@ -1,0 +1,89 @@
+"""Event objects scheduled on the simulator.
+
+An :class:`Event` is a one-shot callback bound to a simulation time.
+Events are cancellable, which is how protocol timers (T3511, T3502,
+Android's ladder timers, SEED's 2 s transient-failure timer, ...) are
+modeled: schedule the timeout handler, cancel it if the awaited message
+arrives first.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class EventState(enum.Enum):
+    """Lifecycle of a scheduled event."""
+
+    PENDING = "pending"
+    FIRED = "fired"
+    CANCELLED = "cancelled"
+
+
+class Event:
+    """A one-shot callback scheduled at an absolute simulation time.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
+    increasing sequence number assigned by the simulator, so two events
+    at the same timestamp fire in scheduling order. This keeps runs
+    deterministic.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "state", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.state = EventState.PENDING
+        self.label = label
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return self.state is EventState.PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state is EventState.CANCELLED
+
+    def cancel(self) -> bool:
+        """Cancel the event if still pending.
+
+        Returns True if the event was pending and is now cancelled,
+        False if it had already fired or was already cancelled.
+        Cancellation is O(1): the simulator lazily discards cancelled
+        events when they surface at the head of the heap.
+        """
+        if self.state is not EventState.PENDING:
+            return False
+        self.state = EventState.CANCELLED
+        return True
+
+    def fire(self) -> None:
+        """Invoke the callback (simulator-internal)."""
+        if self.state is not EventState.PENDING:
+            raise RuntimeError(f"cannot fire event in state {self.state}")
+        self.state = EventState.FIRED
+        self.callback(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return (
+            f"Event(t={self.time:.6f}, seq={self.seq}, cb={name}, "
+            f"state={self.state.value}, label={self.label!r})"
+        )

@@ -1,0 +1,116 @@
+"""Measurement probes: counters, timestamped series, interval tracking.
+
+Experiments measure *disruption intervals* (failure onset → recovery)
+and *resource series* (CPU %, battery %). These helpers keep that
+bookkeeping out of the protocol code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simkernel.simulator import Simulator
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped samples of a scalar quantity."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("time series must be recorded in order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return self.values[-1]
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class Interval:
+    """A closed measurement interval (e.g. one service disruption)."""
+
+    kind: str
+    start: float
+    end: float | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError("interval not closed")
+        return self.end - self.start
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+
+class Monitor:
+    """Collects counters, series and intervals for one simulation run."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.counters: dict[str, int] = {}
+        self.series: dict[str, TimeSeries] = {}
+        self.intervals: list[Interval] = []
+        self._open: dict[str, Interval] = {}
+
+    # Counters -----------------------------------------------------------
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def get_count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # Series -------------------------------------------------------------
+    def sample(self, name: str, value: float) -> None:
+        series = self.series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self.series[name] = series
+        series.record(self.sim.now, value)
+
+    # Intervals ----------------------------------------------------------
+    def begin(self, kind: str, key: str | None = None, **meta) -> Interval:
+        """Open an interval; ``key`` distinguishes concurrent intervals."""
+        handle = key if key is not None else kind
+        if handle in self._open:
+            # Re-entrant begin: the earlier onset wins (a second failure
+            # during an ongoing disruption extends the same outage).
+            return self._open[handle]
+        interval = Interval(kind=kind, start=self.sim.now, meta=dict(meta))
+        self._open[handle] = interval
+        self.intervals.append(interval)
+        return interval
+
+    def end(self, kind: str, key: str | None = None, **meta) -> Interval | None:
+        """Close the matching open interval; returns it (or None)."""
+        handle = key if key is not None else kind
+        interval = self._open.pop(handle, None)
+        if interval is None:
+            return None
+        interval.end = self.sim.now
+        interval.meta.update(meta)
+        return interval
+
+    def is_open(self, kind: str, key: str | None = None) -> bool:
+        return (key if key is not None else kind) in self._open
+
+    def durations(self, kind: str) -> list[float]:
+        """Durations of all *closed* intervals of ``kind``."""
+        return [iv.duration for iv in self.intervals if iv.kind == kind and not iv.open]

@@ -1,0 +1,128 @@
+"""Generator-based processes on top of the event kernel.
+
+Most protocol entities in the reproduction are event-driven state
+machines, but some behaviours (app traffic daemons, the Android probe
+loop, stress-test drivers) read more naturally as sequential code.
+:class:`Process` runs a generator; the generator yields *commands*:
+
+* ``Sleep(duration)`` — resume after simulated time passes.
+* ``Waiter()`` — resume when someone calls ``waiter.set(value)``;
+  ``yield waiter`` evaluates to that value. A timeout may be attached.
+
+Example
+-------
+>>> def daemon(sim):
+...     while True:
+...         yield Sleep(5.0)
+...         do_probe()
+>>> Process(sim, daemon(sim))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.simkernel.simulator import Simulator
+
+
+class Sleep:
+    """Yielded by a process generator to pause for ``duration`` seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("sleep duration must be non-negative")
+        self.duration = duration
+
+
+class Waiter:
+    """A one-shot condition a process can wait on.
+
+    ``set(value)`` wakes the waiting process with ``value``; if a
+    ``timeout`` was given at yield time and expires first, the process
+    resumes with :data:`TIMEOUT`.
+    """
+
+    TIMEOUT = object()
+
+    def __init__(self, timeout: float | None = None) -> None:
+        self.timeout = timeout
+        self._value: Any = None
+        self._done = False
+        self._process: "Process | None" = None
+        self._timeout_event = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def set(self, value: Any = None) -> bool:
+        """Fulfil the waiter. Returns False if already done/timed out."""
+        if self._done:
+            return False
+        self._done = True
+        self._value = value
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+        if self._process is not None:
+            self._process._resume(value)
+        return True
+
+    def _expire(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._value = Waiter.TIMEOUT
+        if self._process is not None:
+            self._process._resume(Waiter.TIMEOUT)
+
+
+class Process:
+    """Drives a generator as a cooperatively-scheduled process."""
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.result: Any = None
+        self._stopping = False
+        sim.call_soon(self._resume, None, label=f"process:{self.name}:start")
+
+    def stop(self) -> None:
+        """Terminate the process; its generator is closed."""
+        if not self.alive:
+            return
+        self._stopping = True
+        self.alive = False
+        self.gen.close()
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            command = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Sleep):
+            self.sim.schedule(
+                command.duration, self._resume, None, label=f"process:{self.name}:wake"
+            )
+        elif isinstance(command, Waiter):
+            if command.done:
+                # Already fulfilled: resume immediately with its value.
+                self.sim.call_soon(self._resume, command._value, label=f"process:{self.name}:ready")
+                return
+            command._process = self
+            if command.timeout is not None:
+                command._timeout_event = self.sim.schedule(
+                    command.timeout, command._expire, label=f"process:{self.name}:timeout"
+                )
+        else:
+            raise TypeError(f"process {self.name} yielded unsupported command: {command!r}")

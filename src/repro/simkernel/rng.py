@@ -1,0 +1,53 @@
+"""Named deterministic random streams.
+
+Different parts of the simulation (radio latency, failure injection,
+app traffic, online-learning exploration) each draw from their own
+stream so that adding randomness to one subsystem never perturbs the
+draws seen by another. Streams are derived from a master seed and the
+stream name, so runs are reproducible across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStreams:
+    """A lazily-created family of independent ``random.Random`` streams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    # Convenience draws -------------------------------------------------
+    def uniform(self, name: str, lo: float, hi: float) -> float:
+        return self.stream(name).uniform(lo, hi)
+
+    def expovariate(self, name: str, rate: float) -> float:
+        return self.stream(name).expovariate(rate)
+
+    def gauss_clamped(self, name: str, mean: float, stdev: float, lo: float = 0.0) -> float:
+        """Gaussian draw clamped below at ``lo`` (latencies are not negative)."""
+        return max(lo, self.stream(name).gauss(mean, stdev))
+
+    def lognormal(self, name: str, mu: float, sigma: float) -> float:
+        return self.stream(name).lognormvariate(mu, sigma)
+
+    def choice(self, name: str, seq):
+        return self.stream(name).choice(seq)
+
+    def random(self, name: str) -> float:
+        return self.stream(name).random()
+
+    def weighted_choice(self, name: str, items: list, weights: list[float]):
+        return self.stream(name).choices(items, weights=weights, k=1)[0]

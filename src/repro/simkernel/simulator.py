@@ -1,0 +1,164 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the virtual clock, the event heap, the named
+RNG streams, and a trace log. All components of the reproduction share
+one simulator instance, which makes every experiment a deterministic
+function of ``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable
+
+from repro.simkernel.events import Event, EventState
+from repro.simkernel.rng import RngStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running twice, ...)."""
+
+
+class Simulator:
+    """Time-ordered event executor with cancellable timers.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the named RNG streams (see
+        :class:`~repro.simkernel.rng.RngStreams`).
+    trace:
+        When True, every fired event is appended to :attr:`trace_log`
+        as ``(time, label)``. Used by tests and by the testbed's
+        signaling trace capture.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self.now: float = 0.0
+        self.rng = RngStreams(seed)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._fired_count = 0
+        self.trace_enabled = trace
+        self.trace_log: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` after ``delay`` seconds.
+
+        Returns the :class:`Event`, whose ``cancel()`` method may be
+        used to revoke it (the idiom for protocol timers).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, callback, *args, label=label, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        event = Event(time, self._seq, callback, args, kwargs, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any, label: str = "", **kwargs: Any) -> Event:
+        """Schedule ``callback`` at the current time (after current event)."""
+        return self.schedule(0.0, callback, *args, label=label, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns False when the queue is exhausted.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.state is EventState.CANCELLED:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = event.time
+            if self.trace_enabled and event.label:
+                self.trace_log.append((self.now, event.label))
+            self._fired_count += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time. The clock is
+            advanced to ``until`` even if no event lands exactly there,
+            so ``sim.now`` is predictable after the call.
+        max_events:
+            Safety valve for tests; raise if more events fire.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.state is EventState.CANCELLED:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if not self.step():
+                    break
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        self.run(until=None, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if e.state is EventState.PENDING)
+
+    @property
+    def fired_events(self) -> int:
+        """Total number of events fired so far."""
+        return self._fired_count
+
+    def pending_labels(self) -> Iterable[str]:
+        """Labels of pending events (diagnostics in tests)."""
+        return [e.label for e in self._heap if e.state is EventState.PENDING and e.label]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"

@@ -1,0 +1,34 @@
+"""Experiment testbed: scenario catalog, measurement, harness.
+
+Reproduces the paper's evaluation setup (§7): failure scenarios drawn
+from the trace study's failure mix are injected into a full
+device+infra simulation under one of three handling schemes — legacy
+(modem/Android), SEED-U (no root), SEED-R (root) — and service
+disruption is measured from failure onset to verified recovery.
+"""
+
+from repro.testbed.harness import HandlingMode, RunResult, Testbed, run_suite
+from repro.testbed.measurement import ConnectivityOracle, DisruptionMeter
+from repro.testbed.scenarios import (
+    CONTROL_PLANE_MIX,
+    DATA_DELIVERY_MIX,
+    DATA_PLANE_MIX,
+    Scenario,
+    ScenarioInstance,
+    scenario_by_name,
+)
+
+__all__ = [
+    "CONTROL_PLANE_MIX",
+    "ConnectivityOracle",
+    "DATA_DELIVERY_MIX",
+    "DATA_PLANE_MIX",
+    "DisruptionMeter",
+    "HandlingMode",
+    "RunResult",
+    "Scenario",
+    "ScenarioInstance",
+    "Testbed",
+    "run_suite",
+    "scenario_by_name",
+]

@@ -1,0 +1,261 @@
+"""The experiment harness: one testbed per run, three handling modes.
+
+A :class:`Testbed` assembles simulator + core + device, optionally
+deploys SEED (user mode or root mode), lets the device reach steady
+state, then injects a scenario and measures the disruption with the
+connectivity oracle. ``run_suite`` replays a scenario mix (drawn with
+the trace-study weights) across many independent runs, mirroring the
+paper's §7.1.1 methodology of reproducing dataset failures on the
+testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.deploy import SeedDeployment, deploy_seed
+from repro.core.reset import ResetAction
+from repro.device.android import AndroidTimers
+from repro.device.device import Device
+from repro.device.modem import ModemLatencies
+from repro.infra.core_network import CoreNetwork
+from repro.infra.failures import ActiveFailure, FailureClass, FailureSpec
+from repro.nas.timers import DEFAULT_TIMERS, StandardTimers
+from repro.sim_card.profile import SimProfile
+from repro.simkernel.simulator import Simulator
+from repro.testbed.measurement import DisruptionMeter, Measurement
+from repro.testbed.scenarios import Scenario, ScenarioInstance, mix_for
+
+
+class HandlingMode(enum.Enum):
+    """Who handles failures in a run (Table 4 columns)."""
+
+    LEGACY = "legacy"
+    SEED_U = "seed_u"
+    SEED_R = "seed_r"
+
+    @property
+    def uses_seed(self) -> bool:
+        return self is not HandlingMode.LEGACY
+
+    @property
+    def rooted(self) -> bool:
+        return self is HandlingMode.SEED_R
+
+
+# Measurement horizons per failure class (beyond the legacy tails).
+HORIZONS = {
+    FailureClass.CONTROL_PLANE: 2400.0,
+    FailureClass.DATA_PLANE: 4500.0,
+    FailureClass.DATA_DELIVERY: 3200.0,
+}
+
+WARMUP = 12.0
+
+SUBSCRIBER_K = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+SUBSCRIBER_OPC = bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario run."""
+
+    scenario: str
+    handling: HandlingMode
+    measurement: Measurement
+    horizon: float
+    timed: bool
+    notified_user: bool = False
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        return self.measurement.recovered
+
+    @property
+    def duration(self) -> float:
+        return self.measurement.duration(self.measurement.onset + self.horizon)
+
+
+class Testbed:
+    """One device + one core, under a chosen handling mode."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        handling: HandlingMode = HandlingMode.LEGACY,
+        android_timers: AndroidTimers | None = None,
+        timers: StandardTimers = DEFAULT_TIMERS,
+        modem_latencies: ModemLatencies | None = None,
+        custom_actions: dict[int, ResetAction] | None = None,
+        learning_rate: float = 0.05,
+    ) -> None:
+        self.handling = handling
+        self.sim = Simulator(seed=seed)
+        self.core = CoreNetwork(self.sim)
+        profile = SimProfile(
+            imsi="001010000000001", k=SUBSCRIBER_K, opc=SUBSCRIBER_OPC
+        )
+        self.core.provision_subscriber(
+            f"imsi-{profile.imsi}", SUBSCRIBER_K, SUBSCRIBER_OPC,
+            subscribed_dnns=("internet", "internet.v2", "ims.carrier", "DIAG"),
+        )
+        if android_timers is None:
+            android_timers = AndroidTimers.stock()
+        self.device = Device(
+            self.sim, self.core.gnb, self.core.upf, profile,
+            timers=timers, android_timers=android_timers,
+            modem_latencies=modem_latencies, rooted=handling.rooted,
+        )
+        self.deployment: SeedDeployment | None = None
+        if handling.uses_seed:
+            self.deployment = deploy_seed(
+                self.core, [self.device], stage="full",
+                custom_actions=custom_actions, learning_rate=learning_rate,
+            )
+            # SEED consumes the OS stall notification and drives its own
+            # recovery; Android's sequential ladder stands down (§6).
+            self.device.android.auto_recover = False
+        self.meter: DisruptionMeter | None = None
+
+    # Convenience -----------------------------------------------------------
+    @property
+    def applet(self):
+        return self.deployment.applet_for(self.device) if self.deployment else None
+
+    @property
+    def carrier_app(self):
+        if self.deployment and self.deployment.carrier_apps:
+            return self.deployment.carrier_app_for(self.device)
+        return None
+
+    def inject(self, spec: FailureSpec) -> ActiveFailure:
+        return self.core.engine.inject(spec)
+
+    # ------------------------------------------------------------------
+    def warm_up(self, duration: float = WARMUP) -> None:
+        """Boot the device to steady state (registered, session up)."""
+        self.device.power_on()
+        self.sim.run(until=self.sim.now + duration)
+        if not self.device.data_session_active():
+            raise RuntimeError("testbed failed to reach steady state")
+
+    # ------------------------------------------------------------------
+    # Failure triggers (how a latent failure manifests, §7.1.1)
+    # ------------------------------------------------------------------
+    def trigger_mobility(self) -> None:
+        """Tracking-area move: the control plane must re-register, and
+        the latent control-plane failure bites (§3.1's common case)."""
+        modem = self.device.modem
+        modem.tracking_area += 1
+        self.core.amf.force_deregister(self.device.supi)
+        self.core._purge_sessions(self.device.supi)
+        modem._abort_all_procedures()
+        modem.start_registration()
+
+    def trigger_session_recycle(self) -> None:
+        """The network reprovisions the subscriber's data service
+        (reactivation requested): existing contexts are torn down and
+        the device re-registers; the fresh session establishment then
+        hits the latent data-plane failure."""
+        modem = self.device.modem
+        self.core.amf.force_deregister(self.device.supi)
+        self.core._purge_sessions(self.device.supi)
+        modem._abort_all_procedures()
+        modem.start_registration()
+
+    # ------------------------------------------------------------------
+    def run_scenario(self, scenario: Scenario, horizon: float | None = None) -> RunResult:
+        """Warm up, inject, trigger, and measure one scenario."""
+        self.warm_up()
+        instance = scenario.build(self)
+        if horizon is None:
+            horizon = HORIZONS[scenario.failure_class]
+        self.meter = DisruptionMeter(self.sim, self.core, self.device, instance.target)
+
+        if scenario.failure_class is FailureClass.CONTROL_PLANE:
+            self.trigger_mobility()
+        elif scenario.failure_class is FailureClass.DATA_PLANE:
+            self.trigger_session_recycle()
+        else:
+            self._start_data_delivery_workload(instance)
+
+        measurement = self.meter.start()
+
+        if instance.user_action_at is not None:
+            self.sim.schedule(
+                instance.user_action_at, self._user_action, label="scenario:user-action"
+            )
+
+        self.sim.run(until=self.sim.now + horizon)
+        for app in self.device.apps.values():
+            app.close_open_disruption()
+        return RunResult(
+            scenario=scenario.name,
+            handling=self.handling,
+            measurement=measurement,
+            horizon=horizon,
+            timed=scenario.timed,
+            notified_user=bool(self.device.ui_notifications),
+        )
+
+    def _start_data_delivery_workload(self, instance: ScenarioInstance) -> None:
+        """Data-delivery runs need app traffic: a web browser for the
+        Android detectors, plus a disruption-sensitive app that calls
+        the SEED failure-report API (the paper's background daemon)."""
+        report_api = self.carrier_app.report_failure if self.carrier_app else None
+        if "web" not in self.device.apps:
+            self.device.launch_app("web")
+        reporter = "edge_ar" if instance.report_failure_type in ("udp",) else "live_stream"
+        if instance.report_failure_type == "dns":
+            reporter = "web"
+        if reporter not in self.device.apps:
+            self.device.launch_app(reporter, report_api=report_api)
+        elif report_api is not None:
+            self.device.apps[reporter].report_api = report_api
+
+    def _user_action(self) -> None:
+        """The subscriber reactivates the plan / re-authenticates."""
+        supi = self.device.supi
+        self.core.subscriber_db.reactivate_subscription(supi)
+        self.core.engine.note_user_action(supi)
+        self.device.modem.start_registration()
+
+    # ------------------------------------------------------------------
+    def device_handles_without_user(self, result: RunResult) -> bool:
+        """Did handling succeed without user intervention (coverage)?"""
+        return result.timed and result.recovered
+
+
+def run_suite(
+    failure_class: FailureClass,
+    handling: HandlingMode,
+    runs: int = 40,
+    seed: int = 1000,
+    android_timers: AndroidTimers | None = None,
+) -> list[RunResult]:
+    """Replay the class's scenario mix over ``runs`` independent runs."""
+    mix = mix_for(failure_class)
+    weights = [s.weight for s in mix]
+    results = []
+    for index in range(runs):
+        picker = Simulator(seed=seed + index).rng
+        scenario = picker.weighted_choice("suite.pick", list(mix), weights)
+        testbed = Testbed(seed=seed + index, handling=handling,
+                          android_timers=android_timers)
+        results.append(testbed.run_scenario(scenario))
+    return results
+
+
+def timed_durations(results: list[RunResult]) -> list[float]:
+    """Durations of the timed (device-recoverable) runs."""
+    return [r.duration for r in results if r.timed]
+
+
+def coverage(results: list[RunResult]) -> float:
+    """Fraction of runs handled without user action (§7.1.1)."""
+    if not results:
+        return 0.0
+    handled = sum(1 for r in results if r.timed and r.recovered)
+    return handled / len(results)

@@ -1,0 +1,142 @@
+"""Disruption measurement: ground-truth connectivity oracle.
+
+The paper measures disruption "from the time when failure happens to
+the instant" service is restored. The oracle answers — without
+injecting probe traffic that would perturb the experiment — whether
+the device currently has working service for the scenario's target
+(registration up, default PDU session up, target flows unblocked,
+resolver healthy).
+
+Recovery detection is event-driven: session/registration events,
+failure clears, and session modifications trigger re-checks, with a
+coarse heartbeat as a safety net, so recovery timestamps are precise
+to milliseconds without per-tick polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.device import Device
+from repro.infra.core_network import CoreNetwork
+from repro.simkernel.simulator import Simulator
+from repro.testbed.scenarios import ConnectivityTarget
+from repro.transport.packets import Direction, Protocol
+
+HEARTBEAT = 2.0
+EVENT_CHECK_DELAY = 0.02
+
+
+class ConnectivityOracle:
+    """Pure connectivity check for one device."""
+
+    def __init__(self, core: CoreNetwork, device: Device) -> None:
+        self.core = core
+        self.device = device
+
+    def ok(self, target: ConnectivityTarget) -> bool:
+        modem = self.device.modem
+        if not modem.registered:
+            return False
+        session = modem.sessions.get(1)
+        if session is None or not session.active:
+            return False
+        ctx = self.core.upf.sessions.get(self.device.supi, {}).get(1)
+        if ctx is None or ctx.ip_address != session.ip_address:
+            return False
+        supi = self.device.supi
+        if target.needs_tcp:
+            if self.core.upf.would_block(supi, Protocol.TCP, target.port, Direction.UPLINK):
+                return False
+            if self.core.upf.would_block(supi, Protocol.TCP, target.port, Direction.DOWNLINK):
+                return False
+        if target.needs_udp:
+            if self.core.upf.would_block(supi, Protocol.UDP, target.port, Direction.UPLINK):
+                return False
+            if self.core.upf.would_block(supi, Protocol.UDP, target.port, Direction.DOWNLINK):
+                return False
+        if target.needs_dns:
+            if self.core.upf.would_block(supi, Protocol.DNS, 53, Direction.UPLINK):
+                return False
+            if not self.core.upf.dns_healthy(ctx):
+                return False
+            # The device must actually be pointed at the healthy server.
+            if session.dns_server != ctx.dns_server:
+                return False
+        return True
+
+
+@dataclass
+class Measurement:
+    """One disruption measurement outcome."""
+
+    onset: float
+    recovered_at: float | None = None
+    checks: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_at is not None
+
+    def duration(self, horizon_end: float | None = None) -> float:
+        """Disruption duration; censored at the horizon if unrecovered."""
+        if self.recovered_at is not None:
+            return self.recovered_at - self.onset
+        if horizon_end is None:
+            raise ValueError("unrecovered measurement needs a horizon")
+        return horizon_end - self.onset
+
+
+class DisruptionMeter:
+    """Tracks one disruption from onset to verified recovery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core: CoreNetwork,
+        device: Device,
+        target: ConnectivityTarget,
+    ) -> None:
+        self.sim = sim
+        self.core = core
+        self.device = device
+        self.target = target
+        self.oracle = ConnectivityOracle(core, device)
+        self.measurement: Measurement | None = None
+        self._armed = False
+        # Event wiring (idempotent per meter instance).
+        device.modem.on_registered.append(self._on_event)
+        device.modem.on_session_up.append(lambda psi, s: self._on_event())
+        device.modem.on_session_modified.append(lambda psi, s: self._on_event())
+        core.engine.on_clear.append(lambda failure: self._on_event())
+
+    def start(self) -> Measurement:
+        """Declare failure onset now."""
+        self.measurement = Measurement(onset=self.sim.now)
+        self._armed = True
+        self._schedule_check(EVENT_CHECK_DELAY)
+        self._heartbeat()
+        return self.measurement
+
+    def _heartbeat(self) -> None:
+        if not self._armed:
+            return
+        self._check()
+        if self._armed:
+            self.sim.schedule(HEARTBEAT, self._heartbeat, label="meter:heartbeat")
+
+    def _on_event(self) -> None:
+        if self._armed:
+            self._schedule_check(EVENT_CHECK_DELAY)
+
+    def _schedule_check(self, delay: float) -> None:
+        self.sim.schedule(delay, self._check, label="meter:check")
+
+    def _check(self) -> None:
+        if not self._armed or self.measurement is None:
+            return
+        self.measurement.checks += 1
+        if self.oracle.ok(self.target):
+            self.measurement.recovered_at = self.sim.now
+            self._armed = False

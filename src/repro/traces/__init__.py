@@ -1,0 +1,28 @@
+"""Synthetic signaling-trace corpus (paper §3.1 substrate).
+
+The paper analyzes 6.7 TB of MobileInsight/MI-LAB traces (4.7 M
+signaling messages, 24 k control/data-plane procedures, 2832 failures,
+8 carriers, 30+ device models). That corpus is not publicly
+redistributable at that granularity, so this package generates a
+statistically matched synthetic corpus: procedure records with embedded
+standardized cause codes following the Table 1 mix, per-carrier and
+per-device-model diversity, and legacy-handling disruption durations
+consistent with Figure 2.
+"""
+
+from repro.traces.records import FailureRecord, ProcedureRecord, TraceMeta
+from repro.traces.generator import CorpusConfig, TraceGenerator
+from repro.traces.loader import load_corpus, save_corpus
+from repro.traces.stats import CorpusStats, analyze
+
+__all__ = [
+    "CorpusConfig",
+    "CorpusStats",
+    "FailureRecord",
+    "ProcedureRecord",
+    "TraceGenerator",
+    "TraceMeta",
+    "analyze",
+    "load_corpus",
+    "save_corpus",
+]

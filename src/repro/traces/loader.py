@@ -1,0 +1,61 @@
+"""Corpus persistence: JSON-lines trace files.
+
+One header line holds the meta table; each subsequent line is one
+procedure record. The format is deliberately simple so corpora can be
+inspected with standard tools and diffed across generator versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.traces.records import Corpus, ProcedureRecord, TraceMeta
+
+
+class CorpusFormatError(ValueError):
+    """Malformed corpus file."""
+
+
+FORMAT_VERSION = 1
+
+
+def save_corpus(corpus: Corpus, path: str | Path) -> None:
+    """Write a corpus as JSON lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format_version": FORMAT_VERSION,
+            "metas": [asdict(meta) for meta in corpus.metas],
+            "records": len(corpus.records),
+        }
+        handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+        for record in corpus.records:
+            handle.write(json.dumps(record.to_dict(), separators=(",", ":")) + "\n")
+
+
+def load_corpus(path: str | Path) -> Corpus:
+    """Read a corpus written by :func:`save_corpus`."""
+    path = Path(path)
+    corpus = Corpus()
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise CorpusFormatError("empty corpus file")
+        header = json.loads(header_line)
+        if header.get("format_version") != FORMAT_VERSION:
+            raise CorpusFormatError(
+                f"unsupported corpus format {header.get('format_version')!r}"
+            )
+        corpus.metas = [TraceMeta(**meta) for meta in header["metas"]]
+        for line in handle:
+            if line.strip():
+                corpus.records.append(ProcedureRecord.from_dict(json.loads(line)))
+    declared = header.get("records")
+    if declared is not None and declared != len(corpus.records):
+        raise CorpusFormatError(
+            f"corpus truncated: header declares {declared} records, "
+            f"found {len(corpus.records)}"
+        )
+    return corpus

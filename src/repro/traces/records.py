@@ -1,0 +1,102 @@
+"""Trace record schema (MobileInsight-flavoured).
+
+A procedure record is one control/data-plane management procedure
+(registration, tracking-area update, PDU session establishment, ...)
+observed on a device, with its outcome. Failed procedures carry the
+standardized cause code and the observed service-disruption duration
+under the deployed (legacy) handling — the quantities §3 analyzes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, asdict
+
+
+class ProcedureKind(enum.Enum):
+    REGISTRATION = "registration"
+    TRACKING_AREA_UPDATE = "tracking_area_update"
+    SERVICE_REQUEST = "service_request"
+    DEREGISTRATION = "deregistration"
+    PDU_SESSION_ESTABLISHMENT = "pdu_session_establishment"
+    PDU_SESSION_MODIFICATION = "pdu_session_modification"
+    PDU_SESSION_RELEASE = "pdu_session_release"
+
+    @property
+    def plane(self) -> str:
+        if self in (
+            ProcedureKind.PDU_SESSION_ESTABLISHMENT,
+            ProcedureKind.PDU_SESSION_MODIFICATION,
+            ProcedureKind.PDU_SESSION_RELEASE,
+        ):
+            return "data"
+        return "control"
+
+
+@dataclass
+class TraceMeta:
+    """Provenance of one trace file."""
+
+    carrier: str
+    device_model: str
+    rat: str                 # "5G-NSA", "5G-SA", "LTE"
+    collected_quarter: str   # e.g. "2021-Q3"
+    tool: str = "mobileinsight"
+
+
+@dataclass
+class ProcedureRecord:
+    """One management procedure and its outcome."""
+
+    timestamp: float
+    kind: ProcedureKind
+    success: bool
+    cause: int | None = None          # standardized cause when failed
+    disruption_seconds: float | None = None
+    messages: int = 2                 # signaling messages in the procedure
+    meta_index: int = 0               # index into the corpus meta table
+
+    @property
+    def plane(self) -> str:
+        return self.kind.plane
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["kind"] = self.kind.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcedureRecord":
+        data = dict(data)
+        data["kind"] = ProcedureKind(data["kind"])
+        return cls(**data)
+
+
+@dataclass
+class FailureRecord:
+    """A failure view of a procedure record (analysis convenience)."""
+
+    timestamp: float
+    plane: str
+    cause: int
+    cause_name: str
+    disruption_seconds: float
+    carrier: str
+    device_model: str
+
+
+@dataclass
+class Corpus:
+    """A generated corpus: meta table + records."""
+
+    metas: list[TraceMeta] = field(default_factory=list)
+    records: list[ProcedureRecord] = field(default_factory=list)
+
+    def failures(self) -> list[ProcedureRecord]:
+        return [r for r in self.records if not r.success]
+
+    def procedures(self) -> int:
+        return len(self.records)
+
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.records)

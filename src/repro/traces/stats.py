@@ -1,0 +1,85 @@
+"""Corpus statistics: the §3.1 analyses (Table 1, Figure 2 inputs)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.nas.causes import Plane, cause_info
+from repro.traces.records import Corpus
+
+
+@dataclass
+class CauseShare:
+    plane: str
+    cause: int
+    name: str
+    count: int
+    share_of_failures: float
+
+
+@dataclass
+class CorpusStats:
+    """Aggregates the analyses the paper reports about its dataset."""
+
+    procedures: int
+    failures: int
+    carriers: int
+    device_models: int
+    total_messages: int
+    failure_ratio: float
+    control_share: float          # failures on the control plane
+    data_share: float
+    cause_shares: list[CauseShare] = field(default_factory=list)
+    cp_disruptions: list[float] = field(default_factory=list)
+    dp_disruptions: list[float] = field(default_factory=list)
+
+    def top_causes(self, plane: str, n: int = 5) -> list[CauseShare]:
+        ranked = [c for c in self.cause_shares if c.plane == plane]
+        ranked.sort(key=lambda c: c.count, reverse=True)
+        return ranked[:n]
+
+
+def analyze(corpus: Corpus) -> CorpusStats:
+    """Compute the §3.1 statistics for a corpus."""
+    failures = corpus.failures()
+    counter: Counter[tuple[str, int]] = Counter()
+    cp_disruptions: list[float] = []
+    dp_disruptions: list[float] = []
+    for record in failures:
+        counter[(record.plane, record.cause)] += 1
+        if record.disruption_seconds is not None:
+            if record.plane == "control":
+                cp_disruptions.append(record.disruption_seconds)
+            else:
+                dp_disruptions.append(record.disruption_seconds)
+
+    total_failures = len(failures) or 1
+    shares = []
+    for (plane, cause), count in counter.items():
+        plane_enum = Plane.CONTROL if plane == "control" else Plane.DATA
+        shares.append(
+            CauseShare(
+                plane=plane,
+                cause=cause,
+                name=cause_info(plane_enum, cause).name,
+                count=count,
+                share_of_failures=count / total_failures,
+            )
+        )
+    shares.sort(key=lambda c: c.count, reverse=True)
+    control = sum(1 for r in failures if r.plane == "control")
+
+    return CorpusStats(
+        procedures=corpus.procedures(),
+        failures=len(failures),
+        carriers=len({m.carrier for m in corpus.metas}),
+        device_models=len({m.device_model for m in corpus.metas}),
+        total_messages=corpus.total_messages(),
+        failure_ratio=len(failures) / (corpus.procedures() or 1),
+        control_share=control / total_failures,
+        data_share=(total_failures - control) / total_failures,
+        cause_shares=shares,
+        cp_disruptions=sorted(cp_disruptions),
+        dp_disruptions=sorted(dp_disruptions),
+    )

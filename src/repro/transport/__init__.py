@@ -1,0 +1,32 @@
+"""User-plane transport substrate.
+
+Models data delivery over an established PDU session at the granularity
+the paper's failure classes need: DNS queries (resolver health,
+timeouts), TCP connections (SYN handshake, per-window failure rate),
+UDP datagram exchanges (port blocking), and the Android-style
+connectivity probes. Packet fates are decided by the UPF's blocking
+rules (:mod:`repro.infra.upf`), which is where data delivery failures
+are injected.
+"""
+
+from repro.transport.packets import Direction, Packet, Protocol, Verdict
+from repro.transport.dns import DnsClient, DnsResult
+from repro.transport.tcp import TcpClient, TcpConnection, TcpStats
+from repro.transport.udp import UdpClient, UdpResult
+from repro.transport.probes import ProbeResult, ConnectivityProber
+
+__all__ = [
+    "ConnectivityProber",
+    "Direction",
+    "DnsClient",
+    "DnsResult",
+    "Packet",
+    "ProbeResult",
+    "Protocol",
+    "TcpClient",
+    "TcpConnection",
+    "TcpStats",
+    "UdpClient",
+    "UdpResult",
+    "Verdict",
+]

@@ -1,0 +1,123 @@
+"""DNS client model.
+
+Carriers point devices at their local DNS resolvers (LDNS), which the
+paper notes are "less stable due to user mobility and congestion"
+(§3.1) and have no OS-provided fallback. The client issues queries over
+the user plane; unanswered queries time out, which is the raw signal
+behind Android's "five consecutive DNS timeouts" detector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.simkernel.simulator import Simulator
+from repro.transport.packets import Direction, Packet, Protocol, Verdict
+
+
+class DnsResult(enum.Enum):
+    RESOLVED = "resolved"
+    TIMEOUT = "timeout"
+    SERVFAIL = "servfail"
+    NO_ROUTE = "no_route"
+
+
+DEFAULT_DNS_TIMEOUT = 5.0
+
+
+@dataclass
+class DnsOutcome:
+    result: DnsResult
+    name: str
+    address: str | None = None
+    latency: float = 0.0
+    time: float = 0.0  # simulation time the outcome was decided
+
+
+class DnsClient:
+    """Resolves names through the configured (carrier) DNS server."""
+
+    def __init__(self, sim: Simulator, user_plane, device_ip: str = "10.0.0.2") -> None:
+        self.sim = sim
+        self.user_plane = user_plane
+        self.device_ip = device_ip
+        self.server_ip = ""  # set from PDU session config
+        self.history: list[DnsOutcome] = []
+
+    def configure(self, server_ip: str) -> None:
+        self.server_ip = server_ip
+
+    def query(
+        self,
+        name: str,
+        callback: Callable[[DnsOutcome], None],
+        timeout: float = DEFAULT_DNS_TIMEOUT,
+    ) -> None:
+        """Asynchronously resolve ``name``; callback gets the outcome."""
+        start = self.sim.now
+        if not self.server_ip:
+            outcome = DnsOutcome(DnsResult.SERVFAIL, name, time=self.sim.now)
+            self.history.append(outcome)
+            self.sim.call_soon(callback, outcome, label="dns:no-server")
+            return
+        packet = Packet(
+            protocol=Protocol.DNS,
+            direction=Direction.UPLINK,
+            src_ip=self.device_ip,
+            dst_ip=self.server_ip,
+            src_port=33000,
+            dst_port=53,
+            payload={"qname": name},
+        )
+        state = {"answered": False}
+        timeout_event = self.sim.schedule(
+            timeout, self._on_timeout, name, start, state, callback, label="dns:timeout"
+        )
+
+        def on_response(response: Packet) -> None:
+            if state["answered"]:
+                return
+            state["answered"] = True
+            timeout_event.cancel()
+            if response.payload.get("rcode") == "SERVFAIL":
+                outcome = DnsOutcome(DnsResult.SERVFAIL, name, latency=self.sim.now - start, time=self.sim.now)
+            else:
+                outcome = DnsOutcome(
+                    DnsResult.RESOLVED,
+                    name,
+                    address=response.payload.get("address"),
+                    latency=self.sim.now - start,
+                    time=self.sim.now,
+                )
+            self.history.append(outcome)
+            callback(outcome)
+
+        verdict = self.user_plane.submit(packet, on_response)
+        if verdict is Verdict.NO_ROUTE:
+            state["answered"] = True
+            timeout_event.cancel()
+            outcome = DnsOutcome(DnsResult.NO_ROUTE, name, time=self.sim.now)
+            self.history.append(outcome)
+            self.sim.call_soon(callback, outcome, label="dns:no-route")
+
+    def _on_timeout(self, name: str, start: float, state: dict, callback) -> None:
+        if state["answered"]:
+            return
+        state["answered"] = True
+        outcome = DnsOutcome(DnsResult.TIMEOUT, name, latency=self.sim.now - start, time=self.sim.now)
+        self.history.append(outcome)
+        callback(outcome)
+
+    def consecutive_timeouts(self, window: float = 1800.0) -> int:
+        """Trailing run of timeouts within ``window`` seconds (Android)."""
+        cutoff = self.sim.now - window
+        run = 0
+        for outcome in reversed(self.history):
+            if outcome.time < cutoff:
+                break
+            if outcome.result is not DnsResult.TIMEOUT:
+                break
+            run += 1
+        return run

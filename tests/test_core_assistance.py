@@ -1,0 +1,108 @@
+"""Figure 8 decision-tree tests: every branch, path traces."""
+
+from repro.core.assistance import AssistanceTree, FailureEvent
+from repro.core.collaboration import DiagnosisKind
+from repro.core.reset import ResetAction
+from repro.nas.causes import Plane
+
+
+def make_tree(custom_actions=None):
+    return AssistanceTree(
+        config_lookup=lambda kind: {"kind": kind},
+        custom_actions=custom_actions,
+    )
+
+
+def event(**kwargs):
+    defaults = dict(supi="imsi-1", origin="active", plane=Plane.CONTROL)
+    defaults.update(kwargs)
+    return FailureEvent(**defaults)
+
+
+class TestActiveBranch:
+    def test_standardized_cause_without_config(self):
+        result = make_tree().classify(event(cause=9))
+        assert result.info.kind is DiagnosisKind.CAUSE
+        assert result.info.cause == 9
+        assert result.path[-1] == "leaf_cause"
+        assert not result.needs_online_learning
+
+    def test_standardized_cause_with_config(self):
+        result = make_tree().classify(event(cause=11))
+        assert result.info.kind is DiagnosisKind.CAUSE_WITH_CONFIG
+        assert result.info.config == {"kind": "plmn_list"}
+
+    def test_data_plane_config_cause(self):
+        result = make_tree().classify(event(plane=Plane.DATA, cause=27))
+        assert result.info.kind is DiagnosisKind.CAUSE_WITH_CONFIG
+        assert result.info.config == {"kind": "suggested_dnn"}
+
+    def test_custom_cause_with_operator_action(self):
+        tree = make_tree({240: ResetAction.B2_CPLANE_REATTACH})
+        result = tree.classify(event(cause=240))
+        assert result.info.kind is DiagnosisKind.SUGGESTED_ACTION
+        assert result.info.suggested_action is ResetAction.B2_CPLANE_REATTACH
+        assert result.info.customized
+
+    def test_custom_cause_without_action_needs_learning(self):
+        result = make_tree().classify(event(cause=240))
+        assert result.needs_online_learning
+        assert result.info.customized
+        assert result.path[-1] == "leaf_online_learning"
+
+
+class TestPassiveBranch:
+    def test_device_timeout_yields_hw_reset_request(self):
+        result = make_tree().classify(event(origin="passive", device_responded=False))
+        assert result.info.kind is DiagnosisKind.HARDWARE_RESET_REQUEST
+        assert result.info.suggested_action is ResetAction.B1_MODEM_RESET
+        assert "passive" in result.path
+
+    def test_sim_reported_delivery_failure_uncongested(self):
+        result = make_tree().classify(event(origin="passive", sim_reported=True))
+        assert result.info.kind is DiagnosisKind.SUGGESTED_ACTION
+        assert result.info.suggested_action is ResetAction.B3_DPLANE_RESET
+
+    def test_sim_reported_delivery_failure_congested(self):
+        result = make_tree().classify(
+            event(origin="passive", sim_reported=True, congested="core",
+                  backoff_seconds=10.0)
+        )
+        assert result.info.kind is DiagnosisKind.CONGESTION_WARNING
+        assert result.info.backoff_seconds == 10.0
+
+    def test_device_reject_with_config_cause(self):
+        result = make_tree().classify(event(origin="passive", plane=Plane.DATA, cause=27))
+        assert result.info.kind is DiagnosisKind.CAUSE_WITH_CONFIG
+
+    def test_device_reject_without_config_cause(self):
+        result = make_tree().classify(event(origin="passive", cause=9))
+        assert result.info.kind is DiagnosisKind.CAUSE
+
+
+class TestTreeStructure:
+    def test_paths_are_short(self):
+        """The tree stays shallow — the 'lightweight' claim (§7.2.1)."""
+        tree = make_tree({240: ResetAction.B1_MODEM_RESET})
+        events = [
+            event(cause=9), event(cause=11), event(cause=240), event(cause=241),
+            event(origin="passive", device_responded=False),
+            event(origin="passive", sim_reported=True),
+            event(origin="passive", cause=9),
+        ]
+        for e in events:
+            assert make_tree({240: ResetAction.B1_MODEM_RESET}).classify(e).nodes_visited <= 5
+        assert tree.node_count <= 16
+
+    def test_every_classification_reaches_a_leaf(self):
+        tree = make_tree()
+        for origin in ("active", "passive"):
+            for cause in (None, 9, 11, 27, 240):
+                for responded in (True, False):
+                    for reported in (True, False):
+                        result = tree.classify(event(
+                            origin=origin, cause=cause,
+                            device_responded=responded, sim_reported=reported,
+                            plane=Plane.DATA,
+                        ))
+                        assert result.path[-1].startswith("leaf_")

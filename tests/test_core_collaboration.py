@@ -1,0 +1,206 @@
+"""Collaboration channel tests: framing, fragmentation, sealing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.collaboration import (
+    AUTN_FRAME_SIZE,
+    CollaborationError,
+    DiagnosisInfo,
+    DiagnosisKind,
+    DownlinkReceiver,
+    DownlinkSender,
+    FragmentReassembler,
+    UplinkReceiver,
+    UplinkSender,
+    derive_channel_key,
+    fragment_payload,
+)
+from repro.core.report import FailureReport, FailureType, TrafficDirection
+from repro.core.reset import ResetAction
+from repro.nas import ies
+from repro.nas.causes import Plane
+
+K = b"\x42" * 16
+
+
+class TestDiagnosisInfoCodec:
+    def infos(self):
+        return [
+            DiagnosisInfo(kind=DiagnosisKind.CAUSE, plane=Plane.CONTROL, cause=9),
+            DiagnosisInfo(kind=DiagnosisKind.CAUSE_WITH_CONFIG, plane=Plane.DATA,
+                          cause=27, config={"dnn": "internet.v2"}),
+            DiagnosisInfo(kind=DiagnosisKind.SUGGESTED_ACTION, plane=Plane.DATA,
+                          cause=201, customized=True,
+                          suggested_action=ResetAction.B3_DPLANE_RESET),
+            DiagnosisInfo(kind=DiagnosisKind.CONGESTION_WARNING, backoff_seconds=7.5),
+            DiagnosisInfo(kind=DiagnosisKind.HARDWARE_RESET_REQUEST,
+                          suggested_action=ResetAction.B1_MODEM_RESET),
+        ]
+
+    def test_round_trip_all_kinds(self):
+        for info in self.infos():
+            assert DiagnosisInfo.decode(info.encode()) == info
+
+    def test_backoff_quantized_to_tenths(self):
+        info = DiagnosisInfo(kind=DiagnosisKind.CONGESTION_WARNING, backoff_seconds=3.14)
+        assert DiagnosisInfo.decode(info.encode()).backoff_seconds == pytest.approx(3.1)
+
+    def test_oversized_config_rejected(self):
+        info = DiagnosisInfo(kind=DiagnosisKind.CAUSE_WITH_CONFIG, cause=27,
+                             config={"x": "y" * 300})
+        with pytest.raises(CollaborationError):
+            info.encode()
+
+    def test_truncated_decode_rejected(self):
+        with pytest.raises(CollaborationError):
+            DiagnosisInfo.decode(b"\x01\x00")
+
+
+class TestFragmentation:
+    def test_frames_are_autn_sized(self):
+        frames = fragment_payload(b"x" * 50)
+        assert all(len(frame) == AUTN_FRAME_SIZE for frame in frames)
+
+    def test_last_fragment_flagged(self):
+        frames = fragment_payload(b"x" * 50)
+        assert all(not (frame[0] & 0x80) for frame in frames[:-1])
+        assert frames[-1][0] & 0x80
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_reassembly_inverts_fragmentation(self, blob):
+        reassembler = FragmentReassembler()
+        result = None
+        for frame in fragment_payload(blob):
+            result = reassembler.feed(frame)
+        assert result == blob
+
+    def test_missing_fragment_resets_cleanly(self):
+        frames = fragment_payload(bytes(60))
+        assert len(frames) >= 3
+        reassembler = FragmentReassembler()
+        reassembler.feed(frames[0])
+        # Skip frame 1, feed the last: incomplete → reset, no crash.
+        assert reassembler.feed(frames[-1]) is None
+        # A full retransmission then succeeds.
+        result = None
+        for frame in frames:
+            result = reassembler.feed(frame)
+        assert result == bytes(60)
+
+    def test_wrong_frame_size_rejected(self):
+        with pytest.raises(CollaborationError):
+            FragmentReassembler().feed(b"short")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(CollaborationError):
+            fragment_payload(bytes(16 * 130))
+
+
+class TestDownlinkChannel:
+    def test_end_to_end(self):
+        sender = DownlinkSender(K)
+        receiver = DownlinkReceiver(K)
+        info = DiagnosisInfo(kind=DiagnosisKind.CAUSE_WITH_CONFIG, plane=Plane.DATA,
+                             cause=27, config={"dnn": "v2"})
+        result = None
+        for frame in sender.prepare(info):
+            result = receiver.feed_frame(frame)
+        assert result == info
+
+    def test_multiple_payloads_in_order(self):
+        sender = DownlinkSender(K)
+        receiver = DownlinkReceiver(K)
+        for cause in (9, 11, 15):
+            info = DiagnosisInfo(kind=DiagnosisKind.CAUSE, cause=cause)
+            result = None
+            for frame in sender.prepare(info):
+                result = receiver.feed_frame(frame)
+            assert result.cause == cause
+
+    def test_wrong_key_rejected(self):
+        sender = DownlinkSender(K)
+        receiver = DownlinkReceiver(b"\x43" * 16)
+        frames = sender.prepare(DiagnosisInfo(kind=DiagnosisKind.CAUSE, cause=9))
+        with pytest.raises(ValueError):
+            for frame in frames:
+                receiver.feed_frame(frame)
+
+    def test_channel_key_derived_not_raw(self):
+        assert derive_channel_key(K) != K
+
+
+class TestUplinkChannel:
+    def report(self):
+        return FailureReport(FailureType.UDP, TrafficDirection.BOTH, "203.0.113.10:9000")
+
+    def test_end_to_end(self):
+        sender = UplinkSender(K)
+        receiver = UplinkReceiver(K)
+        wire = sender.prepare(self.report())
+        assert len(wire) <= ies.MAX_DNN_LENGTH  # fits the DNN field
+        assert receiver.try_parse(wire) == self.report()
+
+    def test_ordinary_dnn_is_not_a_report(self):
+        receiver = UplinkReceiver(K)
+        assert receiver.try_parse(ies.encode_dnn("internet")) is None
+        assert receiver.try_parse(ies.encode_dnn("DIAG")) is None
+
+    def test_garbage_is_not_a_report(self):
+        receiver = UplinkReceiver(K)
+        assert receiver.try_parse(b"\xff\x00\x01") is None
+
+    def test_replayed_report_rejected(self):
+        sender = UplinkSender(K)
+        receiver = UplinkReceiver(K)
+        wire = sender.prepare(self.report())
+        receiver.try_parse(wire)
+        with pytest.raises(ValueError):
+            receiver.try_parse(wire)
+
+    def test_dns_report_round_trip(self):
+        report = FailureReport(FailureType.DNS, TrafficDirection.DOWNLINK,
+                               "api.example.net")
+        sender = UplinkSender(K)
+        receiver = UplinkReceiver(K)
+        parsed = receiver.try_parse(sender.prepare(report))
+        assert parsed.domain == "api.example.net"
+        assert parsed.ip is None
+
+
+class TestFailureReport:
+    def test_round_trip(self):
+        report = FailureReport(FailureType.TCP, TrafficDirection.UPLINK, "1.2.3.4:443")
+        assert FailureReport.decode(report.encode()) == report
+
+    def test_ip_port_accessors(self):
+        report = FailureReport(FailureType.TCP, TrafficDirection.BOTH, "1.2.3.4:443")
+        assert report.ip == "1.2.3.4" and report.port == 443
+
+    def test_tcp_requires_ip_port(self):
+        with pytest.raises(ValueError):
+            FailureReport(FailureType.TCP, TrafficDirection.BOTH, "no-port-here")
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            FailureReport(FailureType.UDP, TrafficDirection.BOTH, "1.2.3.4:99999")
+
+    def test_empty_address_rejected(self):
+        with pytest.raises(ValueError):
+            FailureReport(FailureType.DNS, TrafficDirection.BOTH, "")
+
+    def test_oversized_address_rejected(self):
+        with pytest.raises(ValueError):
+            FailureReport(FailureType.DNS, TrafficDirection.BOTH, "x" * 80)
+
+    def test_from_strings_api(self):
+        report = FailureReport.from_strings("dns", "downlink", "example.com")
+        assert report.failure_type is FailureType.DNS
+        assert report.direction is TrafficDirection.DOWNLINK
+
+    def test_truncated_decode_rejected(self):
+        with pytest.raises(ValueError):
+            FailureReport.decode(b"\x01")
+        with pytest.raises(ValueError):
+            FailureReport.decode(bytes([1, 1, 10]) + b"abc")

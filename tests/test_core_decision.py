@@ -1,0 +1,152 @@
+"""Table 3 decision-function tests (exhaustive over the table rows)."""
+
+import pytest
+
+from repro.core.collaboration import DiagnosisInfo, DiagnosisKind
+from repro.core.decision import (
+    CONTROL_PLANE_WAIT,
+    decide_action,
+    decide_data_delivery,
+)
+from repro.core.reset import ONLINE_LEARNING_ORDER, ResetAction, fallback_without_root, trial_order
+from repro.nas.causes import Plane
+
+
+def info(kind, plane=Plane.CONTROL, cause=9, **kwargs):
+    return DiagnosisInfo(kind=kind, plane=plane, cause=cause, **kwargs)
+
+
+class TestTable3Rows:
+    def test_cp_cause_without_config(self):
+        diagnosis = info(DiagnosisKind.CAUSE, Plane.CONTROL, 9)
+        assert decide_action(diagnosis, rooted=False).action is ResetAction.A1_PROFILE_RELOAD
+        assert decide_action(diagnosis, rooted=True).action is ResetAction.B1_MODEM_RESET
+
+    def test_cp_cause_with_config(self):
+        diagnosis = info(DiagnosisKind.CAUSE_WITH_CONFIG, Plane.CONTROL, 11,
+                         config={"plmn": "00102"})
+        u = decide_action(diagnosis, rooted=False)
+        r = decide_action(diagnosis, rooted=True)
+        assert u.action is ResetAction.A2_CPLANE_CONFIG_UPDATE
+        assert r.action is ResetAction.B2_CPLANE_REATTACH
+        assert u.config == {"plmn": "00102"} == r.config
+
+    def test_dp_cause_without_config(self):
+        diagnosis = info(DiagnosisKind.CAUSE, Plane.DATA, 31)
+        assert decide_action(diagnosis, rooted=False).action is ResetAction.A1_PROFILE_RELOAD
+        assert decide_action(diagnosis, rooted=True).action is ResetAction.B3_DPLANE_RESET
+
+    def test_dp_cause_with_config(self):
+        diagnosis = info(DiagnosisKind.CAUSE_WITH_CONFIG, Plane.DATA, 27,
+                         config={"dnn": "internet.v2"})
+        u = decide_action(diagnosis, rooted=False)
+        r = decide_action(diagnosis, rooted=True)
+        assert u.action is ResetAction.A3_DPLANE_CONFIG_UPDATE
+        assert r.action is ResetAction.B3_DPLANE_MODIFICATION
+
+    def test_data_delivery_row(self):
+        assert decide_data_delivery(rooted=False).action is ResetAction.A3_DPLANE_CONFIG_UPDATE
+        assert decide_data_delivery(rooted=True).action is ResetAction.B3_DPLANE_RESET
+
+
+class TestTimers:
+    def test_cp_actions_wait_two_seconds(self):
+        """§4.4.2: 2 s grace so transient failures are not delayed."""
+        for kind, plane in ((DiagnosisKind.CAUSE, Plane.CONTROL),
+                            (DiagnosisKind.CAUSE_WITH_CONFIG, Plane.CONTROL)):
+            decision = decide_action(
+                info(kind, plane, 9, config={"plmn": "x"} if
+                     kind is DiagnosisKind.CAUSE_WITH_CONFIG else {}),
+                rooted=True,
+            )
+            assert decision.wait_before == CONTROL_PLANE_WAIT == 2.0
+
+    def test_dp_actions_do_not_wait(self):
+        decision = decide_action(info(DiagnosisKind.CAUSE_WITH_CONFIG, Plane.DATA, 27,
+                                      config={"dnn": "v2"}), rooted=True)
+        assert decision.wait_before == 0.0
+
+
+class TestEnhancedRows:
+    def test_user_action_causes_notify(self):
+        decision = decide_action(info(DiagnosisKind.CAUSE, Plane.CONTROL, 7), rooted=True)
+        assert decision.is_notification
+        assert "carrier" in decision.notify_text
+
+    def test_congestion_cause_waits(self):
+        decision = decide_action(info(DiagnosisKind.CAUSE, Plane.CONTROL, 22), rooted=True)
+        assert decision.action is ResetAction.WAIT_CONGESTION
+
+    def test_congestion_warning_waits_embedded_timer(self):
+        decision = decide_action(
+            info(DiagnosisKind.CONGESTION_WARNING, Plane.DATA, 0, backoff_seconds=7.5),
+            rooted=False,
+        )
+        assert decision.action is ResetAction.WAIT_CONGESTION
+        assert decision.wait_before == 7.5
+
+    def test_hardware_reset_request(self):
+        request = info(DiagnosisKind.HARDWARE_RESET_REQUEST)
+        assert decide_action(request, rooted=True).action is ResetAction.B1_MODEM_RESET
+        assert decide_action(request, rooted=False).action is ResetAction.A1_PROFILE_RELOAD
+
+    def test_suggested_action_taken_as_is_with_root(self):
+        diagnosis = info(DiagnosisKind.SUGGESTED_ACTION, Plane.DATA, 201,
+                         customized=True, suggested_action=ResetAction.B3_DPLANE_RESET)
+        assert decide_action(diagnosis, rooted=True).action is ResetAction.B3_DPLANE_RESET
+
+    def test_suggested_action_downgraded_without_root(self):
+        diagnosis = info(DiagnosisKind.SUGGESTED_ACTION, Plane.DATA, 201,
+                         customized=True, suggested_action=ResetAction.B3_DPLANE_RESET)
+        assert (decide_action(diagnosis, rooted=False).action
+                is ResetAction.A3_DPLANE_CONFIG_UPDATE)
+
+    def test_unknown_custom_cause_enters_online_learning(self):
+        diagnosis = info(DiagnosisKind.CAUSE, Plane.DATA, 201, customized=True)
+        decision = decide_action(diagnosis, rooted=True)
+        assert decision.online_learning and decision.action is None
+
+
+class TestResetActionMetadata:
+    def test_root_requirements(self):
+        assert ResetAction.B1_MODEM_RESET.requires_root
+        assert ResetAction.B2_CPLANE_REATTACH.requires_root
+        assert ResetAction.B3_DPLANE_RESET.requires_root
+        assert not ResetAction.A1_PROFILE_RELOAD.requires_root
+        assert not ResetAction.A3_DPLANE_CONFIG_UPDATE.requires_root
+
+    def test_tiers_cover_figure5(self):
+        assert ResetAction.A1_PROFILE_RELOAD.tier == "hardware"
+        assert ResetAction.B1_MODEM_RESET.tier == "hardware"
+        assert ResetAction.A2_CPLANE_CONFIG_UPDATE.tier == "control_plane"
+        assert ResetAction.B2_CPLANE_REATTACH.tier == "control_plane"
+        assert ResetAction.A3_DPLANE_CONFIG_UPDATE.tier == "data_plane"
+        assert ResetAction.B3_DPLANE_RESET.tier == "data_plane"
+
+    def test_online_learning_order_is_data_plane_first(self):
+        """Algorithm 1 line 2: [B3, A3, B2, A2, B1, A1]."""
+        assert ONLINE_LEARNING_ORDER == (
+            ResetAction.B3_DPLANE_RESET,
+            ResetAction.A3_DPLANE_CONFIG_UPDATE,
+            ResetAction.B2_CPLANE_REATTACH,
+            ResetAction.A2_CPLANE_CONFIG_UPDATE,
+            ResetAction.B1_MODEM_RESET,
+            ResetAction.A1_PROFILE_RELOAD,
+        )
+
+    def test_trial_order_without_root_excludes_b_actions(self):
+        order = trial_order(rooted=False)
+        assert all(not action.requires_root for action in order)
+        assert order == (
+            ResetAction.A3_DPLANE_CONFIG_UPDATE,
+            ResetAction.A2_CPLANE_CONFIG_UPDATE,
+            ResetAction.A1_PROFILE_RELOAD,
+        )
+
+    def test_fallback_mapping_preserves_tier(self):
+        for action in ResetAction:
+            if action.requires_root:
+                assert fallback_without_root(action).tier == action.tier
+
+    def test_fallback_identity_for_unrooted_actions(self):
+        assert fallback_without_root(ResetAction.A1_PROFILE_RELOAD) is ResetAction.A1_PROFILE_RELOAD

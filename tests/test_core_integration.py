@@ -1,0 +1,212 @@
+"""SEED end-to-end integration tests on the full testbed."""
+
+import pytest
+
+from repro.core.applet import SEED_AID
+from repro.core.reset import ResetAction
+from repro.infra import ClearTrigger, FailureClass, FailureSpec
+from repro.infra.failures import FailureMode
+from repro.nas.causes import Plane
+from repro.testbed import HandlingMode, Testbed, scenario_by_name
+
+
+class TestDeployment:
+    def test_applet_installed_within_sim_budget(self):
+        tb = Testbed(seed=1, handling=HandlingMode.SEED_U)
+        applet = tb.applet
+        assert SEED_AID in tb.device.card.applets
+        # Fits the paper's smallest SIM budget (32 KB) with the cause
+        # registry persisted.
+        assert applet.code_size + applet.persistent_bytes() < 32 * 1024
+        assert tb.device.card.eeprom_used() < tb.device.card.eeprom_bytes
+
+    def test_root_mode_enabled_via_carrier_app(self):
+        tb = Testbed(seed=1, handling=HandlingMode.SEED_R)
+        tb.warm_up()
+        assert tb.applet.rooted
+
+    def test_unrooted_stays_in_u_mode(self):
+        tb = Testbed(seed=1, handling=HandlingMode.SEED_U)
+        tb.warm_up()
+        assert not tb.applet.rooted
+
+    def test_stage1_has_no_carrier_app(self):
+        from repro.core.deploy import deploy_seed
+        from repro.infra import CoreNetwork
+        from repro.device import Device
+        from repro.sim_card.profile import SimProfile
+        from repro.simkernel import Simulator
+
+        sim = Simulator(seed=1)
+        core = CoreNetwork(sim)
+        k = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+        opc = bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+        core.provision_subscriber("imsi-001010000000001", k, opc)
+        device = Device(sim, core.gnb, core.upf,
+                        SimProfile(imsi="001010000000001", k=k, opc=opc))
+        deployment = deploy_seed(core, [device], stage="stage1")
+        assert deployment.carrier_apps == {}
+        assert deployment.applets
+
+    def test_invalid_stage_rejected(self):
+        from repro.core.deploy import deploy_seed
+        from repro.infra import CoreNetwork
+        from repro.simkernel import Simulator
+
+        with pytest.raises(ValueError):
+            deploy_seed(CoreNetwork(Simulator()), [], stage="bogus")
+
+
+class TestDownlinkDiagnosisFlow:
+    def test_cp_reject_reaches_sim_with_cause(self):
+        tb = Testbed(seed=3, handling=HandlingMode.SEED_U)
+        res = tb.run_scenario(scenario_by_name("cp_no_suitable_cell"), horizon=60.0)
+        applet = tb.applet
+        assert applet.diagnoses, "SIM never received a diagnosis"
+        assert any(d.cause == 15 for _, d in applet.diagnoses)
+        assert res.recovered
+
+    def test_dp_reject_carries_config(self):
+        tb = Testbed(seed=3, handling=HandlingMode.SEED_U)
+        tb.run_scenario(scenario_by_name("dp_outdated_dnn"), horizon=60.0)
+        diagnoses = [d for _, d in tb.applet.diagnoses if d.cause == 27]
+        assert diagnoses and diagnoses[0].config.get("dnn") == "internet.v2"
+
+    def test_config_push_updates_sim_profile(self):
+        tb = Testbed(seed=3, handling=HandlingMode.SEED_U)
+        tb.run_scenario(scenario_by_name("cp_plmn_config"), horizon=60.0)
+        assert tb.device.usim.profile.home_plmn == "00102"
+
+    def test_ack_flows_back_as_synch_failure(self):
+        tb = Testbed(seed=3, handling=HandlingMode.SEED_U)
+        tb.run_scenario(scenario_by_name("cp_no_suitable_cell"), horizon=60.0)
+        state = tb.deployment.plugin._downlinks[tb.device.supi]
+        assert not state.queue and not state.awaiting_ack
+
+    def test_two_second_timer_skips_reset_on_transient(self):
+        """A failure that self-heals within 2 s must not trigger resets
+        (§4.4.2's grace timer)."""
+        tb = Testbed(seed=4, handling=HandlingMode.SEED_U)
+        tb.warm_up()
+        tb.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.REJECT,
+            cause=15, supi=tb.device.supi,
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=0.4,
+        ))
+        tb.trigger_mobility()
+        # The failure clears ambient at +0.4 s and a lower-layer-driven
+        # reattempt lands before the 2 s grace expires.
+        tb.sim.schedule(1.0, tb.device.modem.start_registration)
+        tb.sim.run(until=tb.sim.now + 30.0)
+        assert tb.device.data_session_active()
+        assert tb.applet.actions_taken == []  # reset skipped
+
+    def test_silent_network_transient_needs_no_seed_action(self):
+        """cp_timeout_transient: no reject means no diagnosis; recovery
+        comes from the parked (retransmitted) request."""
+        tb = Testbed(seed=4, handling=HandlingMode.SEED_U)
+        res = tb.run_scenario(scenario_by_name("cp_timeout_transient"), horizon=30.0)
+        assert res.recovered and res.duration < 2.5
+        assert tb.applet.actions_taken == []
+
+
+class TestUplinkReportFlow:
+    def test_report_api_reaches_infrastructure(self):
+        tb = Testbed(seed=5, handling=HandlingMode.SEED_R)
+        tb.warm_up()
+        tb.carrier_app.report_failure("udp", "both", "203.0.113.10:9000")
+        tb.sim.run(until=tb.sim.now + 5.0)
+        reports = tb.deployment.plugin.reports_handled
+        assert reports and reports[0][2].address == "203.0.113.10:9000"
+
+    def test_invalid_report_filtered_at_carrier_app(self):
+        tb = Testbed(seed=5, handling=HandlingMode.SEED_R)
+        tb.warm_up()
+        assert not tb.carrier_app.report_failure("tcp", "both", "missing-port")
+        assert not tb.carrier_app.report_failure("nonsense", "both", "1.2.3.4:5")
+        assert tb.carrier_app.reports_filtered == 2
+
+    def test_policy_conflict_fixed_after_report(self):
+        tb = Testbed(seed=5, handling=HandlingMode.SEED_R)
+        res = tb.run_scenario(scenario_by_name("dd_udp_block"), horizon=120.0)
+        assert res.recovered and res.duration < 10.0
+        policy = tb.core.config_store.policy_for(tb.device.supi)
+        assert not policy.blocks("udp", "uplink", 9000)
+
+    def test_dns_failover_after_report(self):
+        tb = Testbed(seed=5, handling=HandlingMode.SEED_R)
+        res = tb.run_scenario(scenario_by_name("dd_dns_outage"), horizon=200.0)
+        assert res.recovered and res.duration < 60.0
+        session = tb.device.default_session()
+        assert session.dns_server != "10.10.0.53"  # failed resolver replaced
+
+
+class TestFastDataPlaneReset:
+    def test_escort_session_avoids_reattach(self):
+        """Figure 6: the DIAG escort keeps the bearer, so the DATA
+        session is recycled without re-registration."""
+        tb = Testbed(seed=6, handling=HandlingMode.SEED_R)
+        tb.warm_up()
+        registrations_before = tb.device.modem.registration_attempts
+        tb.inject(FailureSpec(
+            failure_class=FailureClass.DATA_DELIVERY, mode=FailureMode.BLOCK,
+            supi=tb.device.supi, block_protocol="",
+            clear_triggers=frozenset({ClearTrigger.ON_SESSION_RESET}),
+        ))
+        tb.carrier_app.report_failure("tcp", "both", "203.0.113.10:443")
+        tb.sim.run(until=tb.sim.now + 10.0)
+        assert tb.device.data_session_active()
+        assert tb.device.modem.registration_attempts == registrations_before
+        # The escort session was torn down after the reset.
+        escort = tb.device.modem.sessions.get(2)
+        assert escort is None or not escort.active
+
+    def test_fast_reset_is_subsecond(self):
+        tb = Testbed(seed=7, handling=HandlingMode.SEED_R)
+        res = tb.run_scenario(scenario_by_name("dd_gateway_stale"), horizon=60.0)
+        assert res.recovered and res.duration < 2.0
+
+
+class TestUserNotification:
+    def test_expired_subscription_notifies_user(self):
+        tb = Testbed(seed=8, handling=HandlingMode.SEED_U)
+        res = tb.run_scenario(scenario_by_name("cp_subscription_expired"), horizon=200.0)
+        assert res.notified_user
+        assert any("carrier" in text for _, text in tb.device.ui_notifications)
+        # After the user acts, service returns.
+        assert res.recovered
+
+    def test_legacy_gives_no_notification(self):
+        tb = Testbed(seed=8, handling=HandlingMode.LEGACY)
+        res = tb.run_scenario(scenario_by_name("cp_subscription_expired"), horizon=200.0)
+        assert not res.notified_user
+
+
+class TestConflictAndRateLimit:
+    def test_app_report_suppressed_during_cp_handling(self):
+        tb = Testbed(seed=9, handling=HandlingMode.SEED_U)
+        tb.warm_up()
+        applet = tb.applet
+        from repro.core.collaboration import DiagnosisInfo, DiagnosisKind
+        applet._handle_diagnosis(DiagnosisInfo(kind=DiagnosisKind.CAUSE,
+                                               plane=Plane.CONTROL, cause=9))
+        actions_before = len(applet.actions_taken)
+        # A report arriving within the 5 s conflict window is dropped.
+        tb.carrier_app.report_failure("tcp", "both", "1.2.3.4:443")
+        tb.sim.run(until=tb.sim.now + 1.0)
+        data_plane_actions = [
+            a for _, a in applet.actions_taken[actions_before:]
+            if a.tier == "data_plane"
+        ]
+        assert data_plane_actions == []
+
+    def test_same_action_rate_limited(self):
+        tb = Testbed(seed=9, handling=HandlingMode.SEED_U)
+        tb.warm_up()
+        applet = tb.applet
+        from repro.core.decision import Decision
+        applet._execute(Decision(action=ResetAction.A3_DPLANE_CONFIG_UPDATE, config={}))
+        applet._execute(Decision(action=ResetAction.A3_DPLANE_CONFIG_UPDATE, config={}))
+        a3_count = sum(1 for _, a in applet.actions_taken
+                       if a is ResetAction.A3_DPLANE_CONFIG_UPDATE)
+        assert a3_count == 1

@@ -1,0 +1,90 @@
+"""Algorithm 1 unit tests (SIM recorder + infra learner)."""
+
+import math
+
+from repro.core.online_learning import InfraLearner, SimRecorder
+from repro.core.reset import ResetAction
+
+
+class TestSimRecorder:
+    def test_trial_sequence_respects_privilege(self):
+        assert SimRecorder(rooted=True).trial_sequence()[0] is ResetAction.B3_DPLANE_RESET
+        unrooted = SimRecorder(rooted=False).trial_sequence()
+        assert all(not action.requires_root for action in unrooted)
+
+    def test_record_success_accumulates(self):
+        recorder = SimRecorder()
+        recorder.record_success(201, ResetAction.B3_DPLANE_RESET)
+        recorder.record_success(201, ResetAction.B3_DPLANE_RESET)
+        recorder.record_success(202, ResetAction.B1_MODEM_RESET)
+        assert recorder.records[201][ResetAction.B3_DPLANE_RESET] == 2
+        assert recorder.records[202][ResetAction.B1_MODEM_RESET] == 1
+
+    def test_flush_clears_on_success(self):
+        recorder = SimRecorder()
+        recorder.record_success(201, ResetAction.B3_DPLANE_RESET)
+        received = []
+        assert recorder.flush(lambda records: received.append(records) or True)
+        assert recorder.records == {} and recorder.uploads == 1
+        assert received[0][201][ResetAction.B3_DPLANE_RESET] == 1
+
+    def test_flush_keeps_records_on_failure(self):
+        """Algorithm 1 line 6: records survive until OTA succeeds."""
+        recorder = SimRecorder()
+        recorder.record_success(201, ResetAction.B3_DPLANE_RESET)
+        assert not recorder.flush(lambda records: False)
+        assert recorder.records  # retained for the next attempt
+
+    def test_empty_flush_is_trivially_true(self):
+        assert SimRecorder().flush(lambda records: False)
+
+    def test_storage_footprint_is_tiny(self):
+        """§5.3: 'the data volume is small enough to be held within the
+        limited SIM storage'."""
+        recorder = SimRecorder()
+        for cause in range(200, 256):
+            for action in ResetAction:
+                recorder.record_success(cause, action)
+        assert recorder.storage_bytes() < 4096
+
+
+class TestInfraLearner:
+    def test_crowdsource_aggregates(self):
+        learner = InfraLearner()
+        learner.crowdsource({201: {ResetAction.B3_DPLANE_RESET: 2}})
+        learner.crowdsource({201: {ResetAction.B3_DPLANE_RESET: 3,
+                                   ResetAction.B1_MODEM_RESET: 1}})
+        assert learner.net_record[201][ResetAction.B3_DPLANE_RESET] == 5
+        assert learner.net_record[201][ResetAction.B1_MODEM_RESET] == 1
+
+    def test_best_action_is_argmax(self):
+        learner = InfraLearner()
+        learner.crowdsource({201: {ResetAction.B3_DPLANE_RESET: 5,
+                                   ResetAction.B1_MODEM_RESET: 2}})
+        assert learner.best_action(201) is ResetAction.B3_DPLANE_RESET
+
+    def test_unknown_cause_has_no_suggestion(self):
+        learner = InfraLearner()
+        assert learner.suggest(999) is None
+        assert learner.best_action(999) is None
+        assert learner.confidence(999) == 0.0
+
+    def test_sigmoid_gate_matches_algorithm1(self):
+        """Line 14: rand() < 1/(1 + e^(-lr * size))."""
+        values = iter([0.0, 0.99])
+        learner = InfraLearner(learning_rate=0.05, rand=lambda: next(values))
+        learner.crowdsource({201: {ResetAction.B3_DPLANE_RESET: 10}})
+        gate = 1.0 / (1.0 + math.exp(-0.05 * 10))
+        assert learner.confidence(201) == gate
+        # rand=0.0 < gate → suggestion sent.
+        assert learner.suggest(201) is ResetAction.B3_DPLANE_RESET
+        # rand=0.99 > gate → exploration (null suggestion, line 17).
+        assert learner.suggest(201) is None
+        assert learner.suggestions_sent == 1 and learner.explorations == 1
+
+    def test_confidence_grows_with_evidence(self):
+        learner = InfraLearner(learning_rate=0.05)
+        learner.crowdsource({201: {ResetAction.B3_DPLANE_RESET: 1}})
+        low = learner.confidence(201)
+        learner.crowdsource({201: {ResetAction.B3_DPLANE_RESET: 100}})
+        assert learner.confidence(201) > low > 0.5  # sigmoid starts >0.5

@@ -1,0 +1,260 @@
+"""Crypto tests: published vectors + structural properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    AES128,
+    IntegrityError,
+    Milenage,
+    ReplayError,
+    SecureChannel,
+    aes_cmac,
+    aes_ctr_keystream,
+    eea2_decrypt,
+    eea2_encrypt,
+)
+from repro.crypto.cmac import eia2_mac
+
+
+class TestAes:
+    def test_fips197_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        cipher = AES128(key)
+        ciphertext = cipher.encrypt_block(plaintext)
+        assert ciphertext == bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert cipher.decrypt_block(ciphertext) == plaintext
+
+    def test_sp800_38a_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        assert AES128(key).encrypt_block(
+            bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ) == bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_wrong_block_length_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(b"short")
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_decrypt_inverts_encrypt(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_encryption_changes_block(self, block):
+        # AES is a permutation; a fixed point for this key/block pair is
+        # astronomically unlikely among random draws.
+        assert AES128(b"\x37" * 16).encrypt_block(block) != block or block == b""
+
+
+class TestCmac:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+    def test_rfc4493_empty(self):
+        assert aes_cmac(self.KEY, b"") == bytes.fromhex(
+            "bb1d6929e95937287fa37d129b756746"
+        )
+
+    def test_rfc4493_16_bytes(self):
+        message = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert aes_cmac(self.KEY, message) == bytes.fromhex(
+            "070a16b46b4d4144f79bdd9dd04a287c"
+        )
+
+    def test_rfc4493_40_bytes(self):
+        message = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411"
+        )
+        assert aes_cmac(self.KEY, message) == bytes.fromhex(
+            "dfa66747de9ae63030ca32611497c827"
+        )
+
+    def test_rfc4493_64_bytes(self):
+        message = bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172a"
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411e5fbc1191a0a52ef"
+            "f69f2445df4f9b17ad2b417be66c3710"
+        )
+        assert aes_cmac(self.KEY, message) == bytes.fromhex(
+            "51f0bebf7e3b9d92fc49741779363cfe"
+        )
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_mac_is_deterministic_and_tag_sized(self, message):
+        tag = aes_cmac(self.KEY, message)
+        assert tag == aes_cmac(self.KEY, message)
+        assert len(tag) == 16
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_flip_changes_mac(self, message, position):
+        flipped = bytearray(message)
+        flipped[position % len(message)] ^= 0x01
+        if bytes(flipped) != message:
+            assert aes_cmac(self.KEY, bytes(flipped)) != aes_cmac(self.KEY, message)
+
+    def test_eia2_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            eia2_mac(self.KEY, 2**32, 0, 0, b"x")
+        with pytest.raises(ValueError):
+            eia2_mac(self.KEY, 0, 32, 0, b"x")
+        with pytest.raises(ValueError):
+            eia2_mac(self.KEY, 0, 0, 2, b"x")
+
+    def test_eia2_is_4_bytes_and_count_sensitive(self):
+        a = eia2_mac(self.KEY, 1, 3, 1, b"payload")
+        b = eia2_mac(self.KEY, 2, 3, 1, b"payload")
+        assert len(a) == 4 and a != b
+
+
+class TestCtrAndEea2:
+    def test_sp800_38a_ctr_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        counter = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        keystream = aes_ctr_keystream(AES128(key), counter, 16)
+        ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
+        assert ciphertext == bytes.fromhex("874d6191b620e3261bef6864990db6ce")
+
+    def test_counter_wraps_mod_2_128(self):
+        cipher = AES128(bytes(16))
+        stream = aes_ctr_keystream(cipher, b"\xff" * 16, 32)
+        assert stream[16:] == cipher.encrypt_block(bytes(16))
+
+    @given(st.binary(max_size=300), st.integers(0, 2**32 - 1), st.integers(0, 31),
+           st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_eea2_round_trip(self, plaintext, count, bearer, direction):
+        key = b"\x5a" * 16
+        ciphertext = eea2_encrypt(key, count, bearer, direction, plaintext)
+        assert eea2_decrypt(key, count, bearer, direction, ciphertext) == plaintext
+
+    def test_eea2_count_separates_keystreams(self):
+        key = b"\x11" * 16
+        a = eea2_encrypt(key, 1, 0, 0, bytes(32))
+        b = eea2_encrypt(key, 2, 0, 0, bytes(32))
+        assert a != b
+
+
+class TestMilenage:
+    # TS 35.207 Test Set 1
+    K = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+    RAND = bytes.fromhex("23553cbe9637a89d218ae64dae47bf35")
+    SQN = bytes.fromhex("ff9bb4d0b607")
+    AMF = bytes.fromhex("b9b9")
+    OP = bytes.fromhex("cdc202d5123e20f62b6d676ac72cb318")
+
+    def mil(self):
+        return Milenage(self.K, op=self.OP)
+
+    def test_opc_derivation(self):
+        assert self.mil().opc == bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+
+    def test_f1_f1star(self):
+        mil = self.mil()
+        assert mil.f1(self.RAND, self.SQN, self.AMF) == bytes.fromhex("4a9ffac354dfafb3")
+        assert mil.f1_star(self.RAND, self.SQN, self.AMF) == bytes.fromhex("01cfaf9ec4e871e9")
+
+    def test_f2_through_f5star(self):
+        mil = self.mil()
+        assert mil.f2(self.RAND) == bytes.fromhex("a54211d5e3ba50bf")
+        assert mil.f3(self.RAND) == bytes.fromhex("b40ba9a3c58b2a05bbf0d987b21bf8cb")
+        assert mil.f4(self.RAND) == bytes.fromhex("f769bcd751044604127672711c6d3441")
+        assert mil.f5(self.RAND) == bytes.fromhex("aa689c648370")
+        assert mil.f5_star(self.RAND) == bytes.fromhex("451e8beca43b")
+
+    def test_autn_round_trip(self):
+        mil = self.mil()
+        autn = mil.generate_autn(self.RAND, self.SQN, self.AMF)
+        ok, sqn = mil.verify_autn(self.RAND, autn)
+        assert ok and sqn == self.SQN
+
+    def test_autn_tamper_detected(self):
+        mil = self.mil()
+        autn = bytearray(mil.generate_autn(self.RAND, self.SQN, self.AMF))
+        autn[-1] ^= 0xFF
+        ok, _ = mil.verify_autn(self.RAND, bytes(autn))
+        assert not ok
+
+    def test_requires_op_or_opc(self):
+        with pytest.raises(ValueError):
+            Milenage(self.K)
+
+    def test_opc_direct_matches_op_derivation(self):
+        derived = self.mil().opc
+        direct = Milenage(self.K, opc=derived)
+        assert direct.f2(self.RAND) == self.mil().f2(self.RAND)
+
+
+class TestSecureChannel:
+    KEY = b"\x42" * 16
+
+    def pair(self):
+        return SecureChannel(self.KEY, direction=1), SecureChannel(self.KEY, direction=1)
+
+    @given(st.binary(max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_seal_open_round_trip(self, payload):
+        sender, receiver = self.pair()
+        assert receiver.open(sender.seal(payload)) == payload
+
+    def test_counter_increments(self):
+        sender, receiver = self.pair()
+        for expected in range(5):
+            blob = sender.seal(b"x")
+            assert int.from_bytes(blob[:4], "big") == expected
+            receiver.open(blob)
+
+    def test_replay_rejected(self):
+        sender, receiver = self.pair()
+        blob = sender.seal(b"hello")
+        receiver.open(blob)
+        with pytest.raises(ReplayError):
+            receiver.open(blob)
+
+    def test_reorder_rejected(self):
+        sender, receiver = self.pair()
+        first = sender.seal(b"1")
+        second = sender.seal(b"2")
+        receiver.open(second)
+        with pytest.raises(ReplayError):
+            receiver.open(first)
+
+    def test_tamper_rejected(self):
+        sender, receiver = self.pair()
+        blob = bytearray(sender.seal(b"secret"))
+        blob[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            receiver.open(bytes(blob))
+
+    def test_forged_blob_does_not_burn_counter(self):
+        sender, receiver = self.pair()
+        good = sender.seal(b"ok")
+        forged = bytearray(good)
+        forged[5] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            receiver.open(bytes(forged))
+        # The genuine blob must still verify afterwards.
+        assert receiver.open(good) == b"ok"
+
+    def test_too_short_blob_rejected(self):
+        _, receiver = self.pair()
+        with pytest.raises(IntegrityError):
+            receiver.open(b"\x00" * 4)
+
+    def test_direction_mismatch_fails(self):
+        downlink = SecureChannel(self.KEY, direction=1)
+        uplink_receiver = SecureChannel(self.KEY, direction=0)
+        with pytest.raises(IntegrityError):
+            uplink_receiver.open(downlink.seal(b"x"))

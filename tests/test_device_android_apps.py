@@ -1,0 +1,225 @@
+"""Android data-stall detection / recovery ladder + app/battery models."""
+
+from repro.device.android import AndroidTimers, StallReason
+from repro.device.apps import APP_PROFILES
+from repro.device.battery import BatteryModel, PowerDraw
+from repro.infra import ClearTrigger, CoreNetwork, FailureClass, FailureSpec
+from repro.infra.failures import FailureMode
+from repro.device import Device
+from repro.sim_card.profile import SimProfile
+from repro.simkernel import Simulator
+
+K = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+OPC = bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+
+
+def make(seed=1, android_timers=None):
+    sim = Simulator(seed=seed)
+    core = CoreNetwork(sim)
+    profile = SimProfile(imsi="001010000000001", k=K, opc=OPC)
+    core.provision_subscriber("imsi-001010000000001", K, OPC)
+    device = Device(sim, core.gnb, core.upf, profile, android_timers=android_timers)
+    return sim, core, device
+
+
+def block_everything(core, supi, duration=10**6):
+    core.engine.inject(FailureSpec(
+        failure_class=FailureClass.DATA_DELIVERY, mode=FailureMode.BLOCK,
+        supi=supi, block_protocol="",
+        clear_triggers=frozenset({ClearTrigger.ON_SESSION_RESET,
+                                  ClearTrigger.AFTER_DURATION}),
+        duration=duration,
+    ))
+
+
+class TestStallDetection:
+    def test_probe_failure_detection(self):
+        timers = AndroidTimers(validation_interval=10.0, probe_failures_needed=2)
+        sim, core, device = make(android_timers=timers)
+        device.android.auto_recover = False
+        device.power_on()
+        sim.run(until=30.0)  # warm probe cache
+        onset = sim.now
+        block_everything(core, device.supi)
+        sim.run(until=onset + 120.0)
+        assert device.android.stalls
+        latency = device.android.detection_latency(onset)
+        assert latency is not None and latency <= 40.0
+
+    def test_tcp_failure_rate_detection(self):
+        timers = AndroidTimers(validation_interval=10**6, evaluation_interval=10.0)
+        sim, core, device = make(android_timers=timers)
+        device.android.auto_recover = False
+        device.power_on()
+        sim.run(until=20.0)
+        device.launch_app("video")
+        sim.run(until=60.0)
+        onset = sim.now
+        block_everything(core, device.supi)
+        sim.run(until=onset + 200.0)
+        assert any(s.reason is StallReason.TCP_FAILURE for s in device.android.stalls)
+
+    def test_dns_timeouts_detection(self):
+        timers = AndroidTimers(validation_interval=10**6, evaluation_interval=10.0,
+                               dns_probe_interval=20.0)
+        sim, core, device = make(android_timers=timers)
+        device.android.auto_recover = False
+        device.power_on()
+        sim.run(until=30.0)
+        onset = sim.now
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.DATA_DELIVERY, mode=FailureMode.DNS_OUTAGE,
+            supi=device.supi, block_protocol="dns",
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=10**6,
+        ))
+        sim.run(until=onset + 300.0)
+        assert any(s.reason is StallReason.DNS_TIMEOUTS for s in device.android.stalls)
+        # 5 consecutive timeouts at 20 s cadence ≈ 100 s minimum.
+        assert device.android.detection_latency(onset) >= 90.0
+
+    def test_no_udp_detector(self):
+        """§3.3: Android has no UDP check; app-port UDP blocks are
+        invisible unless they also break DNS."""
+        timers = AndroidTimers(validation_interval=30.0, evaluation_interval=10.0)
+        sim, core, device = make(android_timers=timers)
+        device.android.auto_recover = False
+        device.power_on()
+        sim.run(until=90.0)  # warm probe cache
+        device.launch_app("navigation")
+        onset = sim.now
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.DATA_DELIVERY, mode=FailureMode.BLOCK,
+            supi=device.supi, block_protocol="udp",
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=10**6,
+        ))
+        sim.run(until=onset + 600.0)
+        assert device.android.detection_latency(onset) is None
+
+    def test_stall_listener_invoked(self):
+        timers = AndroidTimers(validation_interval=10.0, probe_failures_needed=1)
+        sim, core, device = make(android_timers=timers)
+        device.android.auto_recover = False
+        events = []
+        device.android.stall_listeners.append(events.append)
+        device.power_on()
+        sim.run(until=30.0)
+        block_everything(core, device.supi)
+        sim.run(until=sim.now + 60.0)
+        assert events
+
+
+class TestRecoveryLadder:
+    def test_ladder_recovers_via_reregister(self):
+        timers = AndroidTimers(validation_interval=10.0, probe_failures_needed=1,
+                               evaluation_interval=10.0, ladder=(21.0, 6.0, 16.0))
+        sim, core, device = make(android_timers=timers)
+        device.power_on()
+        sim.run(until=70.0)
+        onset = sim.now
+        block_everything(core, device.supi)
+        sim.run(until=onset + 200.0)
+        actions = [a for _, a in device.android.recovery_actions]
+        assert actions[:2] == ["cleanup_tcp", "reregister"]
+        assert not device.android.stall_active  # recovered
+        assert device.data_session_active()
+
+    def test_ladder_stops_on_recovery(self):
+        timers = AndroidTimers(validation_interval=10.0, probe_failures_needed=1,
+                               evaluation_interval=10.0, ladder=(21.0, 6.0, 16.0))
+        sim, core, device = make(android_timers=timers)
+        device.power_on()
+        sim.run(until=70.0)
+        block_everything(core, device.supi, duration=25.0)  # ambient clears fast
+        sim.run(until=sim.now + 120.0)
+        actions = [a for _, a in device.android.recovery_actions]
+        assert "restart_modem" not in actions
+
+    def test_stock_ladder_is_three_minutes(self):
+        assert AndroidTimers.stock().ladder == (210.0, 210.0, 210.0)
+
+
+class TestApps:
+    def test_profiles_match_paper_workloads(self):
+        assert APP_PROFILES["video"].buffer_seconds == 30.0
+        assert APP_PROFILES["live_stream"].buffer_seconds == 3.0
+        assert APP_PROFILES["edge_ar"].buffer_seconds <= 0.1
+        assert APP_PROFILES["edge_ar"].interval == 0.1
+
+    def test_app_traffic_succeeds_on_healthy_network(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        app = device.launch_app("live_stream")
+        sim.run(until=25.0)
+        assert app.successes >= 15
+        assert app.perceived_disruption_total() == 0.0
+
+    def test_buffer_masks_short_disruption(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        video = device.launch_app("video")
+        sim.run(until=15.0)
+        block_everything(core, device.supi, duration=10.0)  # < 30 s buffer
+        sim.run(until=sim.now + 60.0)
+        assert video.perceived_disruption_total() == 0.0
+
+    def test_disruption_measured_beyond_buffer(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        live = device.launch_app("live_stream")
+        sim.run(until=15.0)
+        block_everything(core, device.supi, duration=23.0)
+        sim.run(until=sim.now + 90.0)
+        total = live.perceived_disruption_total()
+        # ~23 s outage minus the 3 s buffer (loose bounds for timing).
+        assert 14.0 <= total <= 25.0
+
+    def test_report_api_called_after_threshold(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        reports = []
+        ar = device.launch_app(
+            "edge_ar", report_api=lambda *args: reports.append(args)
+        )
+        sim.run(until=10.0)
+        block_everything(core, device.supi)
+        sim.run(until=sim.now + 5.0)
+        assert reports and reports[0][0] == "udp"
+        assert len(ar.reports_sent) == 1  # one report per failure episode
+
+
+class TestBattery:
+    def test_baseline_drain_rate(self):
+        sim = Simulator()
+        battery = BatteryModel(sim)
+        sim.run(until=1800.0)
+        assert battery.sample() == 100.0 - 5.4
+
+    def test_diagnosis_events_add_energy(self):
+        sim = Simulator()
+        battery = BatteryModel(sim)
+        for _ in range(1800):
+            battery.note_sim_diagnosis()
+        expected = 1800 * PowerDraw().sim_diagnosis_pct_per_event
+        import pytest
+        assert 100.0 - battery.level_pct == pytest.approx(expected)
+
+    def test_mobileinsight_mode_drains_faster(self):
+        sim = Simulator()
+        battery = BatteryModel(sim)
+        battery.mobileinsight_running = True
+        sim.run(until=1800.0)
+        assert battery.sample() < 100.0 - 13.0
+
+    def test_series_samples_monotonic_time(self):
+        sim = Simulator()
+        battery = BatteryModel(sim)
+        sim.run(until=60.0)
+        battery.sample()
+        sim.run(until=120.0)
+        battery.sample()
+        assert battery.series.times == [0.0, 60.0, 120.0]
+        assert battery.series.values[0] >= battery.series.values[-1]

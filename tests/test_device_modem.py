@@ -1,0 +1,241 @@
+"""Modem tests: legacy retry machinery, AT commands, resets."""
+
+import pytest
+
+from repro.device.at import AtError, parse_at
+from repro.infra import ClearTrigger, CoreNetwork, FailureClass, FailureSpec
+from repro.infra.failures import FailureMode
+from repro.device import Device
+from repro.sim_card.profile import SimProfile
+from repro.simkernel import Simulator
+
+K = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+OPC = bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+
+
+def make(seed=1, rooted=False):
+    sim = Simulator(seed=seed)
+    core = CoreNetwork(sim)
+    profile = SimProfile(imsi="001010000000001", k=K, opc=OPC)
+    core.provision_subscriber("imsi-001010000000001", K, OPC)
+    device = Device(sim, core.gnb, core.upf, profile, rooted=rooted)
+    return sim, core, device
+
+
+class TestAtParser:
+    def test_set_command(self):
+        command = parse_at('AT+CGDCONT=1,"IPv4","internet"')
+        assert command.name == "CGDCONT"
+        assert command.int_arg(0) == 1
+        assert command.str_arg(1) == "IPv4"
+        assert command.str_arg(2) == "internet"
+
+    def test_query_command(self):
+        command = parse_at("AT+CFUN?")
+        assert command.query and command.name == "CFUN"
+
+    def test_bare_command(self):
+        assert parse_at("AT+CGATT").args == ()
+
+    def test_case_insensitive_prefix(self):
+        assert parse_at("at+cfun=1,1").name == "CFUN"
+
+    def test_not_at_rejected(self):
+        with pytest.raises(AtError):
+            parse_at("HELLO")
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(AtError):
+            parse_at("AT+CSQ")
+
+    def test_missing_argument_raises(self):
+        with pytest.raises(AtError):
+            parse_at("AT+CGACT=").int_arg(1)
+
+    def test_non_integer_argument_raises(self):
+        with pytest.raises(AtError):
+            parse_at("AT+CGACT=x").int_arg(0)
+
+
+class TestLegacyRetryTimers:
+    def test_t3511_retry_on_silent_network(self):
+        sim, core, device = make()
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.TIMEOUT,
+            supi=device.supi,
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=10**6,
+        ))
+        device.android.auto_recover = False
+        device.power_on()
+        sim.run(until=25.0)
+        # Attempts at ~0, ~10, ~20 (T3511 = 10 s cycles).
+        assert device.modem.registration_attempts == 3
+
+    def test_t3502_backoff_after_five_attempts(self):
+        sim, core, device = make()
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.TIMEOUT,
+            supi=device.supi,
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=10**6,
+        ))
+        device.android.auto_recover = False  # isolate the modem's timers
+        device.power_on()
+        sim.run(until=60.0)
+        attempts_after_burst = core.amf.cpu.procedure_events
+        sim.run(until=700.0)
+        # During the T3502 (12 min) back-off no further attempts happen.
+        assert core.amf.cpu.procedure_events == attempts_after_burst
+        sim.run(until=800.0)
+        assert core.amf.cpu.procedure_events > attempts_after_burst
+
+    def test_blind_retry_keeps_stale_guti(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        stale = device.modem.cached_guti
+        core.subscriber_db.drop_guti_mapping(device.supi)
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.REJECT,
+            cause=9, supi=device.supi,
+            clear_triggers=frozenset({ClearTrigger.ON_FRESH_IDENTITY}),
+        ))
+        device.modem.tracking_area += 1
+        core.amf.force_deregister(device.supi)
+        device.modem._abort_all_procedures()
+        device.modem.start_registration()
+        sim.run(until=30.0)
+        # The paper's legacy flaw: still using the outdated identity.
+        assert device.modem.cached_guti == stale
+        assert not device.modem.registered
+
+    def test_user_action_cause_stops_retries(self):
+        sim, core, device = make()
+        core.subscriber_db.expire_subscription(device.supi)
+        device.android.auto_recover = False  # isolate the modem's behaviour
+        device.power_on()
+        sim.run(until=60.0)
+        rejects = len(core.amf.rejects)
+        sim.run(until=200.0)
+        assert len(core.amf.rejects) == rejects  # modem went dormant
+
+
+class TestResetPrimitives:
+    def test_profile_reload_reattaches_with_fresh_profile(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        device.usim.set_profile(device.usim.profile.with_updates(guti=None))
+        start = sim.now
+        device.modem.profile_reload()
+        sim.run(until=start + 10.0)
+        assert device.modem.registered
+        assert device.data_session_active()
+        # Reload duration dominates: recovery takes ~profile_reload time.
+        assert sim.now - start >= device.modem.lat.profile_reload
+
+    def test_reboot_clears_overrides_and_uses_fresh_identity(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        device.modem.session_config_override[1] = ("IPv4", "stale.dnn")
+        old_guti = device.modem.cached_guti
+        device.modem.reboot()
+        sim.run(until=12.0)
+        assert device.modem.registered
+        assert device.modem.session_config_override == {}
+        assert device.modem.cached_guti != old_guti  # re-allocated
+        assert device.modem.reboots == 1
+
+    def test_reattach_is_faster_than_reboot(self):
+        durations = {}
+        for action in ("reattach", "reboot"):
+            sim, core, device = make()
+            device.power_on()
+            sim.run(until=5.0)
+            start = sim.now
+            getattr(device.modem, action)()
+            sim.run(until=start + 15.0)
+            assert device.data_session_active()
+            session = device.default_session()
+            ctx = core.upf.sessions[device.supi][1]
+            durations[action] = ctx.established_at - start
+            assert session.active
+        assert durations["reattach"] < durations["reboot"]
+
+    def test_downlink_lost_while_rebooting(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        device.modem.reboot()
+        # A message delivered during the boot window is dropped.
+        from repro.nas.messages import RegistrationReject
+        device.modem.receive_nas(RegistrationReject(cause=11))
+        assert not core.amf.rejects
+
+
+class TestAtExecution:
+    def test_cfun_query_and_reset(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        assert device.modem.execute_at("AT+CFUN?") == "+CFUN: 1"
+        assert device.modem.execute_at("AT+CFUN=1,1") == "OK"
+        sim.run(until=15.0)
+        assert device.modem.reboots == 1
+        assert device.modem.registered
+
+    def test_cgdcont_sets_session_override(self):
+        sim, core, device = make()
+        assert device.modem.execute_at('AT+CGDCONT=1,"IPv4v6","internet.v2"') == "OK"
+        assert device.modem.session_config_override[1] == ("IPv4v6", "internet.v2")
+
+    def test_cgact_cycle(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        device.modem.execute_at("AT+CGACT=0,1")
+        device.modem.execute_at("AT+CGACT=1,1")
+        sim.run(until=10.0)
+        assert device.data_session_active()
+
+    def test_cgatt_query(self):
+        sim, core, device = make()
+        device.power_on()
+        sim.run(until=5.0)
+        assert device.modem.execute_at("AT+CGATT?") == "+CGATT: 1"
+
+    def test_cops_override(self):
+        sim, core, device = make()
+        assert device.modem.execute_at('AT+COPS=1,2,"00102"') == "OK"
+        assert device.modem.plmn_override == "00102"
+
+    def test_malformed_at_returns_error(self):
+        sim, core, device = make()
+        assert device.modem.execute_at("AT+BOGUS=1").startswith("ERROR")
+        assert device.modem.at_log[-1] == "AT+BOGUS=1"
+
+
+class TestCarrierHost:
+    def test_root_detection(self):
+        _, _, unrooted = make()
+        assert not unrooted.carrier_host.detect_root()
+        _, _, rooted = make(rooted=True)
+        assert rooted.carrier_host.detect_root()
+
+    def test_at_requires_root(self):
+        _, _, device = make(rooted=False)
+        with pytest.raises(PermissionError):
+            device.carrier_host.send_at("AT+CFUN?")
+
+    def test_carrier_config_update_recycles_session(self):
+        sim, core, device = make()
+        core.subscriber_db.by_supi(device.supi).subscribed_dnns = (
+            "internet", "internet.v2", "DIAG",
+        )
+        device.power_on()
+        sim.run(until=5.0)
+        device.carrier_host.update_carrier_config(1, dnn="internet.v2")
+        sim.run(until=8.0)
+        session = device.default_session()
+        assert session.active and session.dnn == "internet.v2"
+        assert device.carrier_host.config_updates

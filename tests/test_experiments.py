@@ -1,0 +1,134 @@
+"""Smoke tests for every experiment runner (reduced sizes)."""
+
+import math
+
+from repro.experiments import (
+    coverage,
+    figure2,
+    figure3,
+    figure11a,
+    figure11b,
+    figure12,
+    figure13,
+    online_learning,
+    table1,
+    table2,
+    table4,
+    table5,
+)
+from repro.infra.failures import FailureClass
+from repro.testbed.harness import HandlingMode
+
+
+class TestTable1:
+    def test_small_corpus(self):
+        result = table1.run(procedures=3000, seed=5)
+        assert result.stats.procedures == 3000
+        assert 0.09 < result.stats.failure_ratio < 0.14
+        assert "Table 1" in table1.render(result)
+
+
+class TestFigure2:
+    def test_cdf_quantities(self):
+        result = figure2.run(procedures=3000, seed=5)
+        assert result.control.median < result.data.median
+        assert "Figure 2" in figure2.render(result)
+
+
+class TestFigure3:
+    def test_ordering(self):
+        result = figure3.run(runs_per_kind=2, seed=300, horizon=1200.0)
+        assert result.average("tcp") < result.median("dns")
+        assert "Figure 3" in figure3.render(result)
+
+
+class TestTable2:
+    def test_claims(self):
+        result = table2.run()
+        assert all(result.seed_claims.values())
+        assert "SEED" in table2.render(result)
+
+
+class TestTable4:
+    def test_small_matrix(self):
+        result = table4.run(runs=4, seed=4100)
+        for failure_class in (FailureClass.CONTROL_PLANE, FailureClass.DATA_PLANE,
+                              FailureClass.DATA_DELIVERY):
+            for handling in HandlingMode:
+                cell = result.cells[(failure_class, handling)]
+                assert cell.samples > 0 and cell.median >= 0.0
+        dp = FailureClass.DATA_PLANE
+        assert (result.cells[(dp, HandlingMode.LEGACY)].median
+                > result.cells[(dp, HandlingMode.SEED_U)].median)
+        assert "Table 4" in table4.render(result)
+
+
+class TestTable5:
+    def test_single_cell_runs(self):
+        legacy = table5.run_cell("live_stream", "d_plane", HandlingMode.LEGACY)
+        seed_r = table5.run_cell("live_stream", "d_plane", HandlingMode.SEED_R)
+        assert legacy > 30.0 and seed_r < 3.0
+
+    def test_subset_matrix_renders(self):
+        result = table5.run(apps=("video",), classes=("d_plane",))
+        assert "Table 5" in table5.render(result)
+
+
+class TestFigure11a:
+    def test_overhead_linear_and_bounded(self):
+        result = figure11a.run(rates=(0, 50, 100))
+        assert result.max_overhead() < 4.7
+        assert result.seed_util[0] == result.base_util[0]  # no failures
+        assert "Figure 11a" in figure11a.render(result)
+
+    def test_tree_cost_comes_from_real_tree(self):
+        assert 2.0 < figure11a.measured_tree_nodes() < 6.0
+
+
+class TestFigure11b:
+    def test_endpoints(self):
+        result = figure11b.run(seed=601)
+        assert result.consumed["default"] < result.consumed["seed"]
+        assert result.consumed["seed"] < result.consumed["mobileinsight"]
+        assert result.diagnosis_events > 1500
+        assert "Figure 11b" in figure11b.render(result)
+
+
+class TestFigure12:
+    def test_latency_bands(self):
+        result = figure12.run(exchanges=4, seed=701)
+        for key in ("downlink_prep", "downlink_trans", "uplink_prep", "uplink_trans"):
+            value = result.mean(key)
+            assert not math.isnan(value) and 0.003 < value < 0.15
+        assert "Figure 12" in figure12.render(result)
+
+
+class TestFigure13:
+    def test_ordering_per_tier(self):
+        result = figure13.run(seed=801)
+        for tier in ("hardware", "control_plane", "data_plane"):
+            assert (result.times[(tier, "seed_r")]
+                    < result.times[(tier, "seed_u")]
+                    < result.times[(tier, "legacy")])
+        assert "Figure 13" in figure13.render(result)
+
+
+class TestOnlineLearning:
+    def test_small_run_learns_dp_causes(self):
+        result = online_learning.run(failures_per_cause=3, devices=2, seed=910)
+        for cause in online_learning.DP_CAUSES:
+            assert result.correct_plane[cause]
+        assert "online learning" in online_learning.render(result)
+
+
+class TestCoverage:
+    def test_weighted_targets(self):
+        weighted = coverage.weighted_coverage()
+        assert abs(weighted["control_plane"] - 0.894) < 0.05
+        assert abs(weighted["data_plane"] - 0.955) < 0.05
+        assert abs(weighted["stage1"] - 0.63) < 0.06
+
+    def test_measured_small(self):
+        result = coverage.run(runs=6, seed=7100)
+        assert 0.5 <= result.measured["control_plane"] <= 1.0
+        assert "coverage" in coverage.render(result)

@@ -1,0 +1,229 @@
+"""End-to-end infrastructure tests: attach, sessions, user plane, failures."""
+
+import pytest
+
+from repro.device import Device
+from repro.infra import ClearTrigger, CoreNetwork, FailureClass, FailureSpec
+from repro.infra.failures import FailureMode
+from repro.sim_card.profile import SimProfile
+from repro.simkernel import Simulator
+from repro.transport.dns import DnsResult
+
+K = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+OPC = bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+
+
+def make_testbed(seed=1):
+    sim = Simulator(seed=seed)
+    core = CoreNetwork(sim)
+    profile = SimProfile(imsi="001010000000001", k=K, opc=OPC)
+    core.provision_subscriber("imsi-001010000000001", K, OPC)
+    device = Device(sim, core.gnb, core.upf, profile)
+    return sim, core, device
+
+
+class TestAttach:
+    def test_registration_with_milenage_auth(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        assert device.modem.registered
+        assert core.amf.is_registered(device.supi)
+        assert device.modem.cached_guti is not None
+
+    def test_default_session_established(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        session = device.default_session()
+        assert session is not None and session.active
+        assert session.ip_address.startswith("10.45.")
+        assert session.dns_server == core.config_store.config.active_dns
+        assert core.gnb.bearer_count(device.supi) == 1
+
+    def test_unknown_subscriber_rejected(self):
+        sim = Simulator()
+        core = CoreNetwork(sim)
+        profile = SimProfile(imsi="999999999999999", k=K, opc=OPC)
+        device = Device(sim, core.gnb, core.upf, profile)
+        device.modem.auto_recover = False
+        device.power_on()
+        sim.run(until=5.0)
+        assert not device.modem.registered
+        assert core.amf.rejects and core.amf.rejects[0][2] == 9
+
+    def test_expired_subscription_rejected_cause_7(self):
+        sim, core, device = make_testbed()
+        core.subscriber_db.expire_subscription(device.supi)
+        device.power_on()
+        sim.run(until=5.0)
+        assert not device.modem.registered
+        assert core.amf.rejects[0][2] == 7
+
+    def test_wrong_sim_key_fails_auth(self):
+        sim = Simulator()
+        core = CoreNetwork(sim)
+        profile = SimProfile(imsi="001010000000001", k=K, opc=OPC)
+        core.provision_subscriber("imsi-001010000000001", b"\xee" * 16, OPC)
+        device = Device(sim, core.gnb, core.upf, profile)
+        device.modem.auto_recover = False
+        device.power_on()
+        sim.run(until=5.0)
+        assert not device.modem.registered
+
+    def test_data_flows_after_attach(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        outcomes = []
+        device.dns.query("example.com", outcomes.append)
+        sim.run(until=6.0)
+        assert outcomes[0].result is DnsResult.RESOLVED
+
+    def test_deregistration_cleans_sessions(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        device.modem._detach_only()
+        sim.run(until=6.0)
+        assert core.upf.active_sessions(device.supi) == []
+
+
+class TestBearerLifecycle:
+    def test_releasing_last_session_triggers_rrc_release(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        core.smf.release_session(device.supi, 1, cause=39)
+        sim.run(until=6.0)
+        # The modem re-registers and restores its desired session.
+        sim.run(until=12.0)
+        assert device.modem.registered
+        assert device.data_session_active()
+
+    def test_second_session_keeps_bearer(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        device.modem.setup_session(2, dnn="DIAG")
+        sim.run(until=6.0)
+        assert core.gnb.bearer_count(device.supi) == 2
+        registration_before = device.modem.registration_attempts
+        device.modem.release_session(1)
+        sim.run(until=7.0)
+        # No reattach was needed: the escort holds the bearer.
+        assert core.gnb.bearer_count(device.supi) == 1
+        assert device.modem.registered
+        assert device.modem.registration_attempts == registration_before
+
+
+class TestFailureInteraction:
+    def test_cp_timeout_parks_and_redelivers(self):
+        sim, core, device = make_testbed()
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.TIMEOUT,
+            supi=device.supi,
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=1.0,
+        ))
+        device.power_on()
+        sim.run(until=5.0)
+        # Recovery well before the T3511 = 10 s retry would fire.
+        assert device.modem.registered
+        assert sim.now >= 1.0
+
+    def test_cp_reject_uses_cause(self):
+        sim, core, device = make_testbed()
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.REJECT,
+            cause=15, supi=device.supi,
+            clear_triggers=frozenset({ClearTrigger.ON_RETRY}),
+        ))
+        device.power_on()
+        sim.run(until=2.0)
+        assert core.amf.rejects[0][2] == 15
+        sim.run(until=15.0)
+        # Second (T3511) attempt clears the transient failure.
+        assert device.modem.registered
+
+    def test_dp_reject_blocks_session_until_config_matches(self):
+        sim, core, device = make_testbed()
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.DATA_PLANE, mode=FailureMode.REJECT,
+            cause=27, supi=device.supi, config_field="dnn",
+            required_value="internet.v2",
+            clear_triggers=frozenset({ClearTrigger.ON_CONFIG_MATCH}),
+        ))
+        device.power_on()
+        sim.run(until=5.0)
+        assert device.modem.registered
+        assert not device.data_session_active()
+        assert core.smf.rejects[0][2] == 27
+        # Present the required configuration: the next attempt succeeds.
+        device.modem.session_config_override[1] = ("IPv4", "internet.v2")
+        device.modem.setup_session(1)
+        sim.run(until=8.0)
+        assert device.data_session_active()
+        assert device.default_session().dnn == "internet.v2"
+
+    def test_upf_block_rule_drops_traffic(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.DATA_DELIVERY, mode=FailureMode.BLOCK,
+            supi=device.supi, block_protocol="dns",
+            clear_triggers=frozenset({ClearTrigger.ON_POLICY_FIX}),
+        ))
+        outcomes = []
+        device.dns.query("example.com", outcomes.append, timeout=1.0)
+        sim.run(until=7.0)
+        assert outcomes[0].result is DnsResult.TIMEOUT
+
+    def test_dns_outage_only_affects_failed_server(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        failed = core.config_store.config.active_dns
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.DATA_DELIVERY, mode=FailureMode.DNS_OUTAGE,
+            supi=device.supi, block_protocol="dns", dns_server=failed,
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=999.0,
+        ))
+        outcomes = []
+        device.dns.query("a", outcomes.append, timeout=1.0)
+        sim.run(until=7.0)
+        assert outcomes[0].result is DnsResult.TIMEOUT
+        # Point the device at the backup resolver: queries work again.
+        backup = core.config_store.rotate_dns()
+        core.smf.modify_session(device.supi, 1, new_dns_server=backup)
+        sim.run(until=8.0)
+        device.dns.query("b", outcomes.append, timeout=1.0)
+        sim.run(until=10.0)
+        assert outcomes[1].result is DnsResult.RESOLVED
+
+
+class TestOracles:
+    def test_would_block_matches_submit_behaviour(self):
+        from repro.transport.packets import Direction, Protocol
+
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        assert not core.upf.would_block(device.supi, Protocol.TCP, 443)
+        core.config_store.policy_for(device.supi).blocked.add(("tcp", "both", None))
+        assert core.upf.would_block(device.supi, Protocol.TCP, 443)
+        assert not core.upf.would_block(device.supi, Protocol.UDP, 443)
+        assert core.upf.would_block(device.supi, Protocol.TCP, 443, Direction.DOWNLINK)
+
+    def test_dns_healthy_oracle(self):
+        sim, core, device = make_testbed()
+        device.power_on()
+        sim.run(until=5.0)
+        ctx = core.upf.sessions[device.supi][1]
+        assert core.upf.dns_healthy(ctx)
+        core.engine.inject(FailureSpec(
+            failure_class=FailureClass.DATA_DELIVERY, mode=FailureMode.DNS_OUTAGE,
+            supi=device.supi, block_protocol="dns", dns_server=ctx.dns_server,
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}), duration=99.0,
+        ))
+        assert not core.upf.dns_healthy(ctx)

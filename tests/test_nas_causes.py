@@ -1,0 +1,93 @@
+"""Tests for the standardized cause registries."""
+
+from repro.nas.causes import (
+    CauseCategory,
+    ConfigKind,
+    MM_CAUSES,
+    Plane,
+    SM_CAUSES,
+    cause_info,
+    config_related_mm_causes,
+    config_related_sm_causes,
+)
+from repro.nas.causes import total_standardized_causes
+
+
+class TestRegistryShape:
+    def test_paper_claims_80_plus_codes(self):
+        assert total_standardized_causes() >= 80
+
+    def test_no_duplicate_codes_within_plane(self):
+        assert len(MM_CAUSES) == len({c.code for c in MM_CAUSES.values()})
+        assert len(SM_CAUSES) == len({c.code for c in SM_CAUSES.values()})
+
+    def test_planes_are_consistent(self):
+        assert all(c.plane is Plane.CONTROL for c in MM_CAUSES.values())
+        assert all(c.plane is Plane.DATA for c in SM_CAUSES.values())
+
+    def test_table1_causes_present(self):
+        # Control-plane Table 1 entries.
+        assert MM_CAUSES[9].name == "UE identity cannot be derived by the network"
+        assert MM_CAUSES[15].name == "No suitable cells in tracking area"
+        assert MM_CAUSES[11].name == "PLMN not allowed"
+        assert MM_CAUSES[40].name == "No EPS bearer context activated"
+        assert MM_CAUSES[98].name == "Message type not compatible with the protocol state"
+        # Data-plane Table 1 entries.
+        assert SM_CAUSES[33].name == "Requested service option not subscribed"
+        assert SM_CAUSES[96].name == "Invalid mandatory information"
+        assert SM_CAUSES[29].name == "User authentication or authorization failed"
+        assert SM_CAUSES[31].name == "Request rejected, unspecified"
+        assert SM_CAUSES[26].name == "Insufficient resources"
+
+
+class TestAppendixAConfigMapping:
+    """Paper Appendix A lists the config-related causes exactly."""
+
+    def test_control_plane_config_causes(self):
+        expected = {26, 27, 31, 62, 72, 91, 95, 96, 100, 11}
+        actual = {c.code for c in config_related_mm_causes()}
+        # #11 (PLMN list) is our addition consistent with A2's PLMN
+        # update; the Appendix A nine must all be present.
+        assert expected - {11} <= actual
+
+    def test_data_plane_config_causes(self):
+        expected = {27, 28, 33, 39, 41, 42, 43, 44, 45, 54, 59, 68, 70, 83, 84, 95, 96, 100}
+        actual = {c.code for c in config_related_sm_causes()}
+        assert expected <= actual
+
+    def test_config_kinds_match_appendix(self):
+        assert MM_CAUSES[26].config is ConfigKind.SUPPORTED_RAT
+        assert MM_CAUSES[62].config is ConfigKind.SUGGESTED_SNSSAI
+        assert MM_CAUSES[91].config is ConfigKind.SUGGESTED_DNN
+        assert SM_CAUSES[27].config is ConfigKind.SUGGESTED_DNN
+        assert SM_CAUSES[28].config is ConfigKind.SUGGESTED_SESSION_TYPE
+        assert SM_CAUSES[41].config is ConfigKind.SUGGESTED_TFT
+        assert SM_CAUSES[59].config is ConfigKind.SUGGESTED_5QI
+        assert SM_CAUSES[54].config is ConfigKind.ACTIVATED_PDU_SESSION
+
+
+class TestUserActionCauses:
+    def test_expired_subscription_needs_user(self):
+        assert MM_CAUSES[7].user_action
+        assert SM_CAUSES[29].user_action
+        assert SM_CAUSES[8].user_action
+
+    def test_ordinary_causes_do_not(self):
+        assert not MM_CAUSES[9].user_action
+        assert not SM_CAUSES[27].user_action
+
+
+class TestLookup:
+    def test_known_lookup(self):
+        info = cause_info(Plane.CONTROL, 9)
+        assert info.category is CauseCategory.IDENTITY
+
+    def test_unknown_cause_returns_unstandardized(self):
+        info = cause_info(Plane.DATA, 222)
+        assert info.name.startswith("Unstandardized")
+        assert info.category is CauseCategory.UNSPECIFIED
+        assert not info.config_related
+
+    def test_same_code_differs_by_plane(self):
+        assert cause_info(Plane.CONTROL, 27).name == "N1 mode not allowed"
+        assert cause_info(Plane.DATA, 27).name == "Missing or unknown DNN"

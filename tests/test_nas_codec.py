@@ -1,0 +1,184 @@
+"""NAS codec + IE tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nas import codec, ies, messages
+from repro.nas.codec import CodecError
+
+
+def roundtrip(msg):
+    return codec.decode(codec.encode(msg))
+
+
+class TestHeaderFraming:
+    def test_mm_discriminator(self):
+        wire = codec.encode(messages.RegistrationRequest(supi="imsi-1", requested_plmn="00101"))
+        assert wire[0] == codec.EPD_5GMM
+
+    def test_sm_discriminator(self):
+        wire = codec.encode(messages.PduSessionEstablishmentRequest())
+        assert wire[0] == codec.EPD_5GSM
+
+    def test_short_message_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode(b"\x7e\x00")
+
+    def test_unknown_epd_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode(b"\x99\x00\x41")
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode(bytes([codec.EPD_5GMM, 0x00, 0xEE]))
+
+    def test_truncated_tlv_rejected(self):
+        wire = codec.encode(messages.ServiceReject(cause=9))
+        with pytest.raises(CodecError):
+            codec.decode(wire[:-1])
+
+
+class TestRoundTrips:
+    def test_registration_request_with_guti(self):
+        msg = messages.RegistrationRequest(
+            supi="imsi-001010000000001", guti="5g-guti-00000042",
+            requested_plmn="00101", tracking_area=17, capabilities=("5G", "LTE"),
+        )
+        assert roundtrip(msg) == msg
+
+    def test_registration_request_without_guti(self):
+        msg = messages.RegistrationRequest(supi="imsi-1", requested_plmn="00101")
+        assert roundtrip(msg) == msg
+
+    def test_registration_accept(self):
+        msg = messages.RegistrationAccept(
+            guti="5g-guti-7", tracking_area_list=(1, 2, 3), t3512_seconds=3240.0
+        )
+        assert roundtrip(msg) == msg
+
+    def test_registration_reject_with_timer(self):
+        msg = messages.RegistrationReject(cause=9, t3502_seconds=720.0)
+        assert roundtrip(msg) == msg
+
+    def test_registration_reject_without_timer(self):
+        assert roundtrip(messages.RegistrationReject(cause=11)).t3502_seconds is None
+
+    def test_authentication_messages(self):
+        req = messages.AuthenticationRequest(rand=b"\xab" * 16, autn=b"\xcd" * 16, ngksi=5)
+        assert roundtrip(req) == req
+        resp = messages.AuthenticationResponse(res=b"\x01" * 8)
+        assert roundtrip(resp) == resp
+        fail = messages.AuthenticationFailure(cause=21, auts=b"DACK")
+        assert roundtrip(fail) == fail
+
+    def test_service_and_deregistration(self):
+        assert roundtrip(messages.ServiceRequest(guti="g")) == messages.ServiceRequest(guti="g")
+        assert roundtrip(messages.ServiceReject(cause=9)).cause == 9
+        dereg = messages.DeregistrationRequest(supi="imsi-1", switch_off=True)
+        assert roundtrip(dereg) == dereg
+
+    def test_pdu_establishment_round_trip_preserves_dnn(self):
+        msg = messages.PduSessionEstablishmentRequest(
+            pdu_session_id=3, dnn="internet.v2", pdu_session_type="IPv4v6", s_nssai_sst=2
+        )
+        decoded = roundtrip(msg)
+        assert decoded.dnn == "internet.v2"
+        assert decoded.pdu_session_id == 3
+        assert decoded.dnn_raw == ies.encode_dnn("internet.v2")
+
+    def test_pdu_establishment_opaque_dnn(self):
+        payload = bytes(range(40))
+        msg = messages.PduSessionEstablishmentRequest(
+            dnn="DIAG", dnn_raw=ies.encode_dnn_opaque(payload)
+        )
+        decoded = roundtrip(msg)
+        assert ies.decode_dnn_opaque(decoded.dnn_raw) == payload
+
+    def test_pdu_accept_reject_release_modification(self):
+        accept = messages.PduSessionEstablishmentAccept(
+            pdu_session_id=1, ip_address="10.45.0.9", dns_server="10.10.0.53", qos_5qi=9
+        )
+        assert roundtrip(accept) == accept
+        reject = messages.PduSessionEstablishmentReject(pdu_session_id=2, cause=27, is_ack=True)
+        assert roundtrip(reject) == reject
+        mod_req = messages.PduSessionModificationRequest(requested_tft=("allow-tcp",))
+        assert roundtrip(mod_req) == mod_req
+        mod_cmd = messages.PduSessionModificationCommand(
+            new_tft=("a", "b"), new_dns_server="10.10.1.53"
+        )
+        assert roundtrip(mod_cmd) == mod_cmd
+        rel = messages.PduSessionReleaseCommand(pdu_session_id=1, cause=36)
+        assert roundtrip(rel) == rel
+
+    def test_oversized_dnn_rejected_at_encode(self):
+        msg = messages.PduSessionEstablishmentRequest(dnn_raw=b"\x3f" + b"a" * 120, dnn="DIAG")
+        with pytest.raises(CodecError):
+            codec.encode(msg)
+
+    @given(st.text(alphabet="abcdefgh.", min_size=1, max_size=20),
+           st.integers(0, 255), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_registration_request_fuzz(self, plmn, psi, tracking_area):
+        if ".." in plmn or plmn.startswith(".") or plmn.endswith("."):
+            return
+        msg = messages.RegistrationRequest(
+            supi=f"imsi-{psi}", requested_plmn=plmn, tracking_area=tracking_area
+        )
+        assert roundtrip(msg) == msg
+
+
+class TestDnnIe:
+    def test_encode_simple(self):
+        assert ies.encode_dnn("internet") == b"\x08internet"
+
+    def test_encode_multilabel(self):
+        assert ies.encode_dnn("ims.mnc001.mcc001") == b"\x03ims\x06mnc001\x06mcc001"
+
+    def test_decode_inverts_encode(self):
+        for dnn in ("internet", "a.b.c", "DIAG", "x" * 63):
+            assert ies.decode_dnn(ies.encode_dnn(dnn)) == dnn
+
+    def test_empty_rejected(self):
+        with pytest.raises(ies.IeError):
+            ies.encode_dnn("")
+
+    def test_label_too_long_rejected(self):
+        with pytest.raises(ies.IeError):
+            ies.encode_dnn("x" * 64)
+
+    def test_over_budget_rejected(self):
+        with pytest.raises(ies.IeError):
+            ies.encode_dnn(".".join(["abcdefgh"] * 12))
+
+    @given(st.binary(max_size=ies.max_opaque_dnn_payload()))
+    @settings(max_examples=40, deadline=None)
+    def test_opaque_round_trip(self, payload):
+        wire = ies.encode_dnn_opaque(payload)
+        assert len(wire) <= ies.MAX_DNN_LENGTH
+        assert ies.decode_dnn_opaque(wire) == payload
+
+    def test_opaque_over_budget_rejected(self):
+        with pytest.raises(ies.IeError):
+            ies.encode_dnn_opaque(bytes(ies.max_opaque_dnn_payload() + 1))
+
+    def test_max_opaque_payload_value(self):
+        # 100-byte field: 1+63 chunk + 1+35 chunk = 98 payload bytes.
+        assert ies.max_opaque_dnn_payload() == 98
+
+    def test_dflag(self):
+        assert ies.is_dflag(b"\xff" * 16)
+        assert not ies.is_dflag(b"\xff" * 15 + b"\xfe")
+
+
+class TestSNssai:
+    def test_sst_only(self):
+        s = ies.SNssai(sst=1)
+        assert ies.SNssai.decode(s.encode()) == s
+
+    def test_sst_sd(self):
+        s = ies.SNssai(sst=2, sd=0xABCDEF)
+        assert ies.SNssai.decode(s.encode()) == s
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ies.IeError):
+            ies.SNssai.decode(b"\x03\x01\x02\x03")

@@ -1,0 +1,126 @@
+"""NAS state machine tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nas.fsm import (
+    FsmViolation,
+    RegistrationFsm,
+    RmState,
+    SessionFsm,
+    SmState,
+)
+
+
+class TestRegistrationFsm:
+    def test_initial_state(self):
+        assert RegistrationFsm().state is RmState.DEREGISTERED
+
+    def test_happy_path(self):
+        fsm = RegistrationFsm()
+        fsm.feed("registration_requested")
+        assert fsm.state is RmState.REGISTERED_INITIATED
+        fsm.feed("registration_accepted")
+        assert fsm.registered
+
+    def test_reject_returns_to_deregistered(self):
+        fsm = RegistrationFsm()
+        fsm.feed("registration_requested")
+        fsm.feed("registration_rejected")
+        assert fsm.state is RmState.DEREGISTERED
+
+    def test_re_registration_from_registered(self):
+        fsm = RegistrationFsm()
+        fsm.feed("registration_requested")
+        fsm.feed("registration_accepted")
+        fsm.feed("registration_requested")
+        assert fsm.state is RmState.REGISTERED_INITIATED
+
+    def test_illegal_event_raises(self):
+        with pytest.raises(FsmViolation):
+            RegistrationFsm().feed("registration_accepted")
+
+    def test_can_checks_without_mutating(self):
+        fsm = RegistrationFsm()
+        assert fsm.can("registration_requested")
+        assert not fsm.can("registration_accepted")
+        assert fsm.state is RmState.DEREGISTERED
+
+    def test_reset_returns_to_initial(self):
+        fsm = RegistrationFsm()
+        fsm.feed("registration_requested")
+        fsm.feed("registration_accepted")
+        fsm.reset()
+        assert fsm.state is RmState.DEREGISTERED
+
+    def test_observer_sees_transitions(self):
+        fsm = RegistrationFsm()
+        seen = []
+        fsm.observe(lambda old, event, new: seen.append((old, event, new)))
+        fsm.feed("registration_requested")
+        assert seen == [(RmState.DEREGISTERED, "registration_requested",
+                         RmState.REGISTERED_INITIATED)]
+
+    def test_history_recorded(self):
+        fsm = RegistrationFsm()
+        fsm.feed("registration_requested")
+        fsm.feed("timeout")
+        assert [event for event, _ in fsm.history] == ["registration_requested", "timeout"]
+
+
+class TestSessionFsm:
+    def test_establish_release_cycle(self):
+        fsm = SessionFsm()
+        fsm.feed("establishment_requested")
+        fsm.feed("establishment_accepted")
+        assert fsm.active
+        fsm.feed("release_requested")
+        assert fsm.state is SmState.INACTIVE_PENDING
+        fsm.feed("release_completed")
+        assert fsm.state is SmState.INACTIVE
+
+    def test_rejection_path(self):
+        fsm = SessionFsm()
+        fsm.feed("establishment_requested")
+        fsm.feed("establishment_rejected")
+        assert fsm.state is SmState.INACTIVE
+
+    def test_modification_paths(self):
+        fsm = SessionFsm()
+        fsm.feed("establishment_requested")
+        fsm.feed("establishment_accepted")
+        fsm.feed("modification_requested")
+        assert fsm.state is SmState.MODIFICATION_PENDING
+        fsm.feed("modification_rejected")
+        assert fsm.active
+        fsm.feed("modification_commanded")  # network-initiated: stays active
+        assert fsm.active
+
+    def test_network_release(self):
+        fsm = SessionFsm()
+        fsm.feed("establishment_requested")
+        fsm.feed("establishment_accepted")
+        fsm.feed("network_released")
+        assert fsm.state is SmState.INACTIVE
+
+    def test_cannot_establish_while_pending_release(self):
+        fsm = SessionFsm()
+        fsm.feed("establishment_requested")
+        fsm.feed("establishment_accepted")
+        fsm.feed("release_requested")
+        assert not fsm.can("establishment_requested")
+
+    @given(st.lists(st.sampled_from([
+        "establishment_requested", "establishment_accepted", "establishment_rejected",
+        "modification_requested", "modification_accepted", "modification_rejected",
+        "release_requested", "release_completed", "network_released", "timeout", "abort",
+    ]), max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_fsm_never_enters_undefined_state(self, events):
+        """Property: feeding any event sequence (skipping illegal ones)
+        always leaves the FSM in a defined SmState."""
+        fsm = SessionFsm()
+        for event in events:
+            if fsm.can(event):
+                fsm.feed(event)
+        assert fsm.state in SmState

@@ -1,0 +1,105 @@
+"""Property-based system tests (hypothesis): cross-cutting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.infra import ClearTrigger, FailureClass, FailureSpec
+from repro.infra.failures import FailureEngine, FailureMode
+from repro.simkernel import Simulator
+from repro.testbed import HandlingMode, Testbed
+from repro.testbed.scenarios import (
+    CONTROL_PLANE_MIX,
+    DATA_DELIVERY_MIX,
+    DATA_PLANE_MIX,
+)
+
+RECOVERABLE = [s for s in CONTROL_PLANE_MIX + DATA_PLANE_MIX + DATA_DELIVERY_MIX
+               if s.timed]
+
+
+class TestSeedRecoveryProperty:
+    @given(
+        scenario=st.sampled_from(RECOVERABLE),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_seed_r_always_recovers_device_recoverable_failures(self, scenario, seed):
+        """Invariant: every device-recoverable scenario, any seed, ends
+        recovered under SEED-R within its class horizon — SEED never
+        livelocks or wedges the device."""
+        testbed = Testbed(seed=seed, handling=HandlingMode.SEED_R)
+        result = testbed.run_scenario(scenario)
+        assert result.recovered, f"{scenario.name} seed={seed} did not recover"
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_healthy_testbed_reaches_steady_state_for_any_seed(self, seed):
+        testbed = Testbed(seed=seed, handling=HandlingMode.SEED_U)
+        testbed.warm_up()
+        assert testbed.device.data_session_active()
+
+    @given(
+        scenario=st.sampled_from(RECOVERABLE),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_seed_never_slower_than_horizon_censored_legacy(self, scenario, seed):
+        """SEED-R recovery is never slower than legacy on the same
+        scenario instance (same seed → same ambient draws)."""
+        seed_result = Testbed(seed=seed, handling=HandlingMode.SEED_R).run_scenario(scenario)
+        legacy_result = Testbed(seed=seed, handling=HandlingMode.LEGACY).run_scenario(scenario)
+        assert seed_result.duration <= legacy_result.duration + 1.0
+
+
+class TestFailureEngineProperties:
+    @given(
+        duration=st.floats(min_value=0.1, max_value=100.0),
+        probe=st.floats(min_value=0.0, max_value=200.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ambient_clear_happens_exactly_once_at_duration(self, duration, probe):
+        sim = Simulator()
+        engine = FailureEngine(sim)
+        failure = engine.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.REJECT,
+            cause=9, supi="s",
+            clear_triggers=frozenset({ClearTrigger.AFTER_DURATION}),
+            duration=duration,
+        ))
+        sim.run(until=probe)
+        assert failure.cleared == (probe >= duration)
+        if failure.cleared:
+            assert failure.cleared_at == duration
+
+    @given(st.lists(st.sampled_from([
+        "retry", "fresh_identity", "session_reset", "policy_fix", "user_action",
+    ]), max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_cleared_failures_never_match_again(self, events):
+        sim = Simulator()
+        engine = FailureEngine(sim)
+        engine.inject(FailureSpec(
+            failure_class=FailureClass.CONTROL_PLANE, mode=FailureMode.REJECT,
+            cause=9, supi="s",
+            clear_triggers=frozenset(ClearTrigger),
+            duration=1000.0,
+        ))
+        for event in events:
+            getattr(engine, f"note_{event}")(
+                "s", FailureClass.CONTROL_PLANE
+            ) if event == "retry" else getattr(engine, f"note_{event}")("s")
+        active = engine.matching("s", FailureClass.CONTROL_PLANE)
+        for failure in engine.history:
+            if failure.cleared:
+                assert failure not in active
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_testbed_runs_are_deterministic(self, seed):
+        from repro.testbed.scenarios import SCN_DP_OUTDATED_DNN
+
+        a = Testbed(seed=seed, handling=HandlingMode.SEED_U).run_scenario(
+            SCN_DP_OUTDATED_DNN, horizon=60.0)
+        b = Testbed(seed=seed, handling=HandlingMode.SEED_U).run_scenario(
+            SCN_DP_OUTDATED_DNN, horizon=60.0)
+        assert a.duration == b.duration
+        assert a.recovered == b.recovered

@@ -1,0 +1,329 @@
+"""SIM card substrate tests: APDU, filesystem, profile, runtime, OTA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim_card import (
+    Apdu,
+    ApduError,
+    ApduResponse,
+    Applet,
+    AppletRuntime,
+    FileId,
+    OtaChannel,
+    OtaError,
+    SimProfile,
+    StatusWord,
+    StorageExceeded,
+    UiccFileSystem,
+)
+from repro.sim_card.applet_rt import InstallError
+from repro.sim_card.apdu import Ins
+from repro.sim_card.proactive import (
+    ProactiveCommand,
+    ProactiveKind,
+    RefreshMode,
+    display_text_command,
+    refresh_command,
+    timer_command,
+)
+from repro.sim_card.usim import AUTH_TAG_MAC_FAILURE, AUTH_TAG_RES, UsimApplet
+
+KEY = b"\x01" * 16
+
+
+class TestApdu:
+    def test_encode_decode_with_data(self):
+        apdu = Apdu(cla=0x80, ins=0xE2, p1=1, p2=2, data=b"hello")
+        assert Apdu.decode(apdu.encode()) == apdu
+
+    def test_encode_decode_without_data(self):
+        apdu = Apdu(cla=0x00, ins=0xA4)
+        assert Apdu.decode(apdu.encode()) == apdu
+
+    def test_byte_range_enforced(self):
+        with pytest.raises(ApduError):
+            Apdu(cla=256, ins=0)
+
+    def test_data_limit(self):
+        with pytest.raises(ApduError):
+            Apdu(cla=0, ins=0, data=b"x" * 256)
+
+    def test_lc_mismatch_rejected(self):
+        with pytest.raises(ApduError):
+            Apdu.decode(b"\x00\xa4\x00\x00\x05ab")
+
+    def test_response_ok_and_proactive(self):
+        assert ApduResponse(sw=StatusWord.OK).ok
+        response = ApduResponse(sw=StatusWord.PROACTIVE_PENDING | 0x10)
+        assert response.ok and response.proactive_pending
+        assert response.pending_length == 0x10
+
+    def test_response_encode_decode(self):
+        response = ApduResponse(sw=0x9000, data=b"payload")
+        assert ApduResponse.decode(response.encode()) == response
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_apdu_round_trip_fuzz(self, data):
+        apdu = Apdu(cla=0x80, ins=0xC2, data=data)
+        assert Apdu.decode(apdu.encode()) == apdu
+
+
+class TestFileSystem:
+    def test_create_read_update(self):
+        fs = UiccFileSystem()
+        fs.create(FileId.EF_IMSI, b"imsi")
+        assert fs.read(FileId.EF_IMSI) == b"imsi"
+        fs.update(FileId.EF_IMSI, b"new")
+        assert fs.read(FileId.EF_IMSI) == b"new"
+        assert fs.files[FileId.EF_IMSI].updates == 1
+
+    def test_missing_file_raises(self):
+        with pytest.raises(KeyError):
+            UiccFileSystem().read(FileId.EF_IMSI)
+
+    def test_duplicate_create_rejected(self):
+        fs = UiccFileSystem()
+        fs.create(FileId.EF_IMSI)
+        with pytest.raises(KeyError):
+            fs.create(FileId.EF_IMSI)
+
+    def test_read_only_enforced(self):
+        fs = UiccFileSystem()
+        fs.create(FileId.EF_IMSI, b"x", read_only=True)
+        with pytest.raises(KeyError):
+            fs.update(FileId.EF_IMSI, b"y")
+
+    def test_capacity_enforced(self):
+        fs = UiccFileSystem(capacity_bytes=10)
+        fs.create(FileId.EF_IMSI, b"12345")
+        with pytest.raises(KeyError):
+            fs.create(FileId.EF_AD, b"1234567")
+        fs.create(FileId.EF_AD, b"12345")
+
+    def test_delete(self):
+        fs = UiccFileSystem()
+        fs.create(FileId.EF_IMSI, b"x")
+        fs.delete(FileId.EF_IMSI)
+        assert not fs.exists(FileId.EF_IMSI)
+
+
+class TestProfile:
+    def test_round_trip_through_files(self):
+        fs = UiccFileSystem()
+        profile = SimProfile(
+            imsi="001010000000009", k=b"\x0a" * 16, opc=b"\x0b" * 16,
+            plmn_priority=("00101", "00102"), forbidden_plmns=("99999",),
+            dnn_list=("internet", "ims"), guti="5g-guti-5", last_tracking_area=4,
+        )
+        profile.to_files(fs)
+        loaded = SimProfile.from_files(fs, k=profile.k, opc=profile.opc)
+        assert loaded == profile
+
+    def test_with_updates_is_functional(self):
+        profile = SimProfile()
+        updated = profile.with_updates(guti="new-guti")
+        assert updated.guti == "new-guti"
+        assert profile.guti is None
+
+    def test_with_updates_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            SimProfile().with_updates(nonexistent=1)
+
+    def test_rewrite_updates_counters(self):
+        fs = UiccFileSystem()
+        SimProfile().to_files(fs)
+        SimProfile(guti="x").to_files(fs)
+        assert fs.files[FileId.EF_LOCI].updates == 1
+
+
+class _EchoApplet(Applet):
+    def process(self, apdu):
+        return ApduResponse(data=apdu.data)
+
+
+class TestAppletRuntime:
+    def test_install_requires_carrier_key(self):
+        runtime = AppletRuntime(carrier_key=KEY)
+        with pytest.raises(InstallError):
+            runtime.install(_EchoApplet(aid="A1", code_size=10), b"\x02" * 16)
+
+    def test_install_and_transmit(self):
+        runtime = AppletRuntime(carrier_key=KEY)
+        runtime.install(_EchoApplet(aid="A1", code_size=10), KEY)
+        response = runtime.transmit("A1", Apdu(cla=0, ins=0, data=b"ping"))
+        assert response.data == b"ping"
+
+    def test_transmit_to_missing_applet(self):
+        runtime = AppletRuntime(carrier_key=KEY)
+        assert runtime.transmit("NOPE", Apdu(cla=0, ins=0)).sw == StatusWord.FILE_NOT_FOUND
+
+    def test_duplicate_aid_rejected(self):
+        runtime = AppletRuntime(carrier_key=KEY)
+        runtime.install(_EchoApplet(aid="A1"), KEY)
+        with pytest.raises(InstallError):
+            runtime.install(_EchoApplet(aid="A1"), KEY)
+
+    def test_code_size_counts_against_eeprom(self):
+        runtime = AppletRuntime(eeprom_bytes=1000, carrier_key=KEY)
+        with pytest.raises(StorageExceeded):
+            runtime.install(_EchoApplet(aid="BIG", code_size=2000), KEY)
+
+    def test_persistent_storage_budget(self):
+        runtime = AppletRuntime(eeprom_bytes=600, carrier_key=KEY)
+        applet = _EchoApplet(aid="A1", code_size=100)
+        runtime.install(applet, KEY)
+        applet.persist("k", b"x" * 400)
+        with pytest.raises(StorageExceeded):
+            applet.persist("k2", b"y" * 200)
+        # Overwriting charges only the delta.
+        applet.persist("k", b"x" * 450)
+        assert applet.recall("k") == b"x" * 450
+
+    def test_erase_refunds_budget(self):
+        runtime = AppletRuntime(eeprom_bytes=600, carrier_key=KEY)
+        applet = _EchoApplet(aid="A1", code_size=100)
+        runtime.install(applet, KEY)
+        applet.persist("k", b"x" * 400)
+        applet.erase("k")
+        applet.persist("k2", b"y" * 400)
+
+    def test_ram_budget_enforced_and_released(self):
+        runtime = AppletRuntime(ram_bytes=128, carrier_key=KEY)
+
+        class Hungry(Applet):
+            def process(self, apdu):
+                self.allocate_transient(100)
+                return ApduResponse()
+
+        applet = Hungry(aid="H1")
+        runtime.install(applet, KEY)
+        # Two calls in a row succeed because RAM is reclaimed per APDU.
+        runtime.transmit("H1", Apdu(cla=0, ins=0))
+        runtime.transmit("H1", Apdu(cla=0, ins=0))
+        assert runtime.ram_used() == 0
+
+    def test_proactive_queue_surfaces_in_status_word(self):
+        runtime = AppletRuntime(carrier_key=KEY)
+
+        class Queuer(Applet):
+            def process(self, apdu):
+                self.queue_proactive(display_text_command("hi"))
+                return ApduResponse()
+
+        runtime.install(Queuer(aid="Q1"), KEY)
+        response = runtime.transmit("Q1", Apdu(cla=0, ins=0))
+        assert response.proactive_pending
+        command = runtime.fetch()
+        assert command is not None and command.kind is ProactiveKind.DISPLAY_TEXT
+        assert runtime.fetch() is None
+
+    def test_uninstall_frees_space(self):
+        runtime = AppletRuntime(eeprom_bytes=1000, carrier_key=KEY)
+        applet = _EchoApplet(aid="A1", code_size=800)
+        runtime.install(applet, KEY)
+        runtime.uninstall("A1", KEY)
+        runtime.install(_EchoApplet(aid="A2", code_size=800), KEY)
+
+
+class TestProactiveCommands:
+    def test_refresh_round_trip(self):
+        command = refresh_command(RefreshMode.UICC_RESET, files=(0x6F07,))
+        decoded = ProactiveCommand.decode(command.encode())
+        assert decoded.kind is ProactiveKind.REFRESH
+        assert decoded.qualifier == RefreshMode.UICC_RESET.value
+        assert decoded.files == (0x6F07,)
+
+    def test_display_text_round_trip(self):
+        command = display_text_command("contact your carrier")
+        assert ProactiveCommand.decode(command.encode()).text == "contact your carrier"
+
+    def test_timer_command_meta(self):
+        command = timer_command(2, 1.5)
+        assert command.meta == {"timer_id": 2, "duration": 1.5}
+
+
+class TestUsim:
+    def make(self):
+        profile = SimProfile(
+            k=bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc"),
+            opc=bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf"),
+        )
+        runtime = AppletRuntime(carrier_key=KEY)
+        usim = UsimApplet(profile)
+        runtime.install(usim, KEY)
+        return runtime, usim, profile
+
+    def test_authenticate_success(self):
+        from repro.crypto.milenage import Milenage
+
+        runtime, usim, profile = self.make()
+        mil = Milenage(profile.k, opc=profile.opc)
+        rand = b"\x23" * 16
+        autn = mil.generate_autn(rand, (32).to_bytes(6, "big"))
+        response = runtime.transmit(
+            usim.aid, Apdu(cla=0, ins=Ins.AUTHENTICATE, data=rand + autn)
+        )
+        assert response.data[0] == AUTH_TAG_RES
+        assert response.data[1:] == mil.f2(rand)
+
+    def test_authenticate_mac_failure(self):
+        runtime, usim, _ = self.make()
+        response = runtime.transmit(
+            usim.aid, Apdu(cla=0, ins=Ins.AUTHENTICATE, data=b"\x23" * 16 + b"\x00" * 16)
+        )
+        assert response.data[0] == AUTH_TAG_MAC_FAILURE
+
+    def test_dflag_routes_to_delegate(self):
+        runtime, usim, _ = self.make()
+        seen = []
+        usim.register_diagnosis_delegate(lambda autn: seen.append(autn) or b"CUSTOMACK")
+        response = runtime.transmit(
+            usim.aid, Apdu(cla=0, ins=Ins.AUTHENTICATE, data=b"\xff" * 16 + b"\x77" * 16)
+        )
+        assert seen == [b"\x77" * 16]
+        assert response.data[1:] == b"CUSTOMACK"
+        assert usim.diag_count == 1 and usim.auth_count == 0
+
+    def test_dflag_without_delegate_still_acks(self):
+        runtime, usim, _ = self.make()
+        response = runtime.transmit(
+            usim.aid, Apdu(cla=0, ins=Ins.AUTHENTICATE, data=b"\xff" * 16 + b"\x00" * 16)
+        )
+        assert response.data[1:] == b"DACK"
+
+    def test_wrong_length_rejected(self):
+        runtime, usim, _ = self.make()
+        response = runtime.transmit(usim.aid, Apdu(cla=0, ins=Ins.AUTHENTICATE, data=b"xx"))
+        assert response.sw == StatusWord.WRONG_LENGTH
+
+
+class TestOta:
+    def make(self, up=True):
+        runtime = AppletRuntime(carrier_key=KEY)
+        state = {"up": up}
+        channel = OtaChannel(runtime=runtime, data_service_up=lambda: state["up"])
+        return runtime, channel, state
+
+    def test_install_over_ota(self):
+        runtime, channel, _ = self.make()
+        channel.install_applet(_EchoApplet(aid="A9", code_size=5), KEY)
+        assert "A9" in runtime.applets
+
+    def test_install_fails_without_data_service(self):
+        _, channel, _ = self.make(up=False)
+        with pytest.raises(OtaError):
+            channel.install_applet(_EchoApplet(aid="A9"), KEY)
+
+    def test_payload_round_trips(self):
+        _, channel, _ = self.make()
+        assert channel.push_to_card(b"config") == b"config"
+        assert channel.send_from_card(b"records") == b"records"
+        assert channel.uplink_log == [b"records"]
+
+    def test_uplink_fails_when_data_down(self):
+        _, channel, state = self.make()
+        state["up"] = False
+        with pytest.raises(OtaError):
+            channel.send_from_card(b"records")

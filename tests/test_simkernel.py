@@ -1,0 +1,281 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simkernel import Event, Monitor, Process, RngStreams, Simulator, Sleep, Waiter
+from repro.simkernel.simulator import SimulationError
+
+
+class TestSimulator:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_and_run_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abcde":
+            sim.schedule(1.0, fired.append, name)
+        sim.run_until_idle()
+        assert fired == list("abcde")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_does_not_fire_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        sim.run(until=4.0)
+        assert fired == []
+        sim.run(until=6.0)
+        assert fired == [1]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, 1)
+        assert event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_twice_returns_false(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert event.cancel()
+        assert not event.cancel()
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        assert not event.cancel()
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.1, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(3.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run_until_idle()
+        assert times == [3.0]
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_trace_log_records_labels(self):
+        sim = Simulator(trace=True)
+        sim.schedule(1.0, lambda: None, label="tick")
+        sim.run_until_idle()
+        assert sim.trace_log == [(1.0, "tick")]
+
+
+class TestEvent:
+    def test_ordering_by_time_then_seq(self):
+        a = Event(1.0, 1, lambda: None)
+        b = Event(1.0, 2, lambda: None)
+        c = Event(0.5, 3, lambda: None)
+        assert c < a < b
+
+    def test_fire_twice_raises(self):
+        event = Event(0.0, 1, lambda: None)
+        event.fire()
+        with pytest.raises(RuntimeError):
+            event.fire()
+
+
+class TestRngStreams:
+    def test_streams_are_deterministic_per_seed(self):
+        a = RngStreams(7).stream("x").random()
+        b = RngStreams(7).stream("x").random()
+        assert a == b
+
+    def test_streams_independent_by_name(self):
+        rng = RngStreams(7)
+        assert rng.stream("x").random() != rng.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("x").random() != RngStreams(2).stream("x").random()
+
+    def test_gauss_clamped_respects_floor(self):
+        rng = RngStreams(3)
+        for _ in range(200):
+            assert rng.gauss_clamped("g", 0.0, 10.0, 0.5) >= 0.5
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_weighted_choice_returns_member(self, seed):
+        rng = RngStreams(seed)
+        items = ["a", "b", "c"]
+        assert rng.weighted_choice("w", items, [1.0, 2.0, 3.0]) in items
+
+
+class TestProcess:
+    def test_sleep_sequence(self):
+        sim = Simulator()
+        marks = []
+
+        def daemon():
+            marks.append(sim.now)
+            yield Sleep(2.0)
+            marks.append(sim.now)
+            yield Sleep(3.0)
+            marks.append(sim.now)
+
+        Process(sim, daemon())
+        sim.run_until_idle()
+        assert marks == [0.0, 2.0, 5.0]
+
+    def test_waiter_set_resumes_with_value(self):
+        sim = Simulator()
+        got = []
+
+        def daemon():
+            waiter = Waiter()
+            sim.schedule(1.5, waiter.set, "hello")
+            value = yield waiter
+            got.append((sim.now, value))
+
+        Process(sim, daemon())
+        sim.run_until_idle()
+        assert got == [(1.5, "hello")]
+
+    def test_waiter_timeout(self):
+        sim = Simulator()
+        got = []
+
+        def daemon():
+            value = yield Waiter(timeout=2.0)
+            got.append(value)
+
+        Process(sim, daemon())
+        sim.run_until_idle()
+        assert got == [Waiter.TIMEOUT]
+
+    def test_set_after_timeout_is_ignored(self):
+        sim = Simulator()
+        waiter = Waiter(timeout=1.0)
+
+        def daemon():
+            value = yield waiter
+            assert value is Waiter.TIMEOUT
+
+        Process(sim, daemon())
+        sim.run(until=5.0)
+        assert not waiter.set("late")
+
+    def test_stop_terminates_process(self):
+        sim = Simulator()
+        marks = []
+
+        def daemon():
+            while True:
+                yield Sleep(1.0)
+                marks.append(sim.now)
+
+        process = Process(sim, daemon())
+        sim.run(until=3.5)
+        process.stop()
+        sim.run(until=10.0)
+        assert marks == [1.0, 2.0, 3.0]
+        assert not process.alive
+
+    def test_process_result_captured(self):
+        sim = Simulator()
+
+        def daemon():
+            yield Sleep(1.0)
+            return 42
+
+        process = Process(sim, daemon())
+        sim.run_until_idle()
+        assert process.result == 42
+
+
+class TestMonitor:
+    def test_counters(self):
+        monitor = Monitor(Simulator())
+        monitor.count("x")
+        monitor.count("x", 2)
+        assert monitor.get_count("x") == 3
+        assert monitor.get_count("missing") == 0
+
+    def test_series_records_time(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        monitor.sample("s", 1.0)
+        sim.schedule(2.0, monitor.sample, "s", 5.0)
+        sim.run_until_idle()
+        series = monitor.series["s"]
+        assert series.times == [0.0, 2.0]
+        assert series.mean() == 3.0
+
+    def test_interval_lifecycle(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        monitor.begin("outage")
+        sim.schedule(4.0, monitor.end, "outage")
+        sim.run_until_idle()
+        assert monitor.durations("outage") == [4.0]
+
+    def test_reentrant_begin_keeps_first_onset(self):
+        sim = Simulator()
+        monitor = Monitor(sim)
+        first = monitor.begin("outage")
+        sim.schedule(1.0, monitor.begin, "outage")
+        sim.schedule(3.0, monitor.end, "outage")
+        sim.run_until_idle()
+        assert first.duration == 3.0
+        assert len(monitor.durations("outage")) == 1
+
+    def test_end_without_begin_returns_none(self):
+        monitor = Monitor(Simulator())
+        assert monitor.end("nothing") is None

@@ -1,0 +1,186 @@
+"""Trace corpus generator/loader/stats + analysis utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis import Cdf, format_table, percentile
+from repro.analysis.solutions import SOLUTION_MATRIX, verify_seed_row_against_implementation
+from repro.traces import (
+    CorpusConfig,
+    TraceGenerator,
+    analyze,
+    load_corpus,
+    save_corpus,
+)
+from repro.traces.loader import CorpusFormatError
+from repro.traces.records import ProcedureKind, ProcedureRecord
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return TraceGenerator(CorpusConfig(procedures=8000, seed=7)).generate()
+
+
+@pytest.fixture(scope="module")
+def stats(corpus):
+    return analyze(corpus)
+
+
+class TestGenerator:
+    def test_procedure_count(self, corpus):
+        assert corpus.procedures() == 8000
+
+    def test_failure_ratio_matches_paper(self, stats):
+        # Paper: 2832 / 24k ≈ 11.8 %, "over 10 % failure ratio".
+        assert 0.10 < stats.failure_ratio < 0.13
+
+    def test_plane_split_matches_table1(self, stats):
+        assert stats.control_share == pytest.approx(0.562, abs=0.04)
+        assert stats.data_share == pytest.approx(0.438, abs=0.04)
+
+    def test_top_cp_cause_is_identity(self, stats):
+        top = stats.top_causes("control", 1)[0]
+        assert top.cause == 9
+        assert top.share_of_failures == pytest.approx(0.152, abs=0.03)
+
+    def test_top5_dp_contains_table1_entries(self, stats):
+        top_codes = {share.cause for share in stats.top_causes("data", 6)}
+        assert {33, 96, 27} <= top_codes
+
+    def test_carrier_and_model_diversity(self, stats):
+        assert stats.carriers == 8          # paper: 8 carriers
+        assert stats.device_models >= 20    # paper: 30+ models overall
+
+    def test_records_sorted_by_time(self, corpus):
+        times = [record.timestamp for record in corpus.records]
+        assert times == sorted(times)
+
+    def test_deterministic_for_seed(self):
+        a = TraceGenerator(CorpusConfig(procedures=500, seed=3)).generate()
+        b = TraceGenerator(CorpusConfig(procedures=500, seed=3)).generate()
+        assert [r.to_dict() for r in a.records] == [r.to_dict() for r in b.records]
+
+    def test_cp_disruption_cdf_matches_figure2(self, stats):
+        cdf = Cdf(stats.cp_disruptions)
+        assert cdf.fraction_below(2.0) == pytest.approx(0.19, abs=0.04)
+        assert cdf.fraction_below(10.0) == pytest.approx(0.27, abs=0.04)
+        assert 10.0 < cdf.median < 16.0      # paper: 12.4 s
+        assert cdf.p90 > 700.0               # heavy T3502 tail
+
+    def test_dp_disruption_cdf_matches_figure2(self, stats):
+        cdf = Cdf(stats.dp_disruptions)
+        assert cdf.fraction_below(10.0) == pytest.approx(0.09, abs=0.04)
+        assert 350.0 < cdf.median < 650.0    # paper: ≈ 8 minutes
+
+    def test_failure_plane_consistent_with_kind(self, corpus):
+        for record in corpus.failures():
+            if record.kind in (ProcedureKind.REGISTRATION,
+                               ProcedureKind.TRACKING_AREA_UPDATE,
+                               ProcedureKind.SERVICE_REQUEST,
+                               ProcedureKind.DEREGISTRATION):
+                assert record.plane == "control"
+            else:
+                assert record.plane == "data"
+
+
+class TestLoader:
+    def test_round_trip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.procedures() == corpus.procedures()
+        assert loaded.metas == corpus.metas
+        assert loaded.records[0].to_dict() == corpus.records[0].to_dict()
+
+    def test_truncation_detected(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-10]) + "\n")
+        with pytest.raises(CorpusFormatError):
+            load_corpus(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(CorpusFormatError):
+            load_corpus(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v999.jsonl"
+        path.write_text('{"format_version": 999, "metas": [], "records": 0}\n')
+        with pytest.raises(CorpusFormatError):
+            load_corpus(path)
+
+    def test_record_round_trip(self):
+        record = ProcedureRecord(
+            timestamp=1.5, kind=ProcedureKind.REGISTRATION, success=False,
+            cause=9, disruption_seconds=12.4,
+        )
+        assert ProcedureRecord.from_dict(record.to_dict()) == record
+
+
+class TestCdf:
+    def test_median_and_p90(self):
+        cdf = Cdf(list(map(float, range(1, 101))))
+        assert cdf.median == 50.0
+        assert cdf.p90 == 90.0
+
+    def test_fraction_below(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.0) == 0.5
+        assert cdf.fraction_below(0.5) == 0.0
+        assert cdf.fraction_below(10.0) == 1.0
+
+    def test_quantile_bounds(self):
+        cdf = Cdf([5.0, 1.0, 3.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([10.0], 90) == 10.0
+        assert percentile([1.0, 2.0], 50) == 1.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 120)
+
+    def test_points_monotonic(self):
+        points = Cdf([3.0, 1.0, 2.0, 9.0]).points(8)
+        values = [v for v, _ in points]
+        assert values == sorted(values)
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = format_table(["A", "Bee"], [[1, 2.5], ["xx", 0.123]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[1:2])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1234.5678], [0.1234], [float("nan")]])
+        assert "1234.6" in text and "0.123" in text and "-" in text
+
+
+class TestSolutionMatrix:
+    def test_five_rows_matching_paper(self):
+        names = [cap.name for cap in SOLUTION_MATRIX]
+        assert names == ["Modem-based", "OS-based", "App-based", "Infra-based", "SEED"]
+
+    def test_only_seed_has_both_side_detection(self):
+        both = [cap.name for cap in SOLUTION_MATRIX
+                if "Both" in cap.detection]
+        assert both == ["SEED"]
+
+    def test_seed_claims_verified_by_implementation(self):
+        claims = verify_seed_row_against_implementation()
+        assert claims and all(claims.values())

@@ -1,0 +1,260 @@
+"""Transport-layer tests against a scripted stub user plane."""
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.transport import (
+    ConnectivityProber,
+    Direction,
+    DnsClient,
+    Packet,
+    Protocol,
+    TcpClient,
+    UdpClient,
+    Verdict,
+)
+from repro.transport.dns import DnsResult
+from repro.transport.probes import ProbeResult
+from repro.transport.tcp import TcpStats
+from repro.transport.udp import UdpResult
+
+
+class StubPlane:
+    """Scripted user plane: per-protocol behaviour, optional delays."""
+
+    def __init__(self, sim, behaviour=None, delay=0.02):
+        self.sim = sim
+        self.behaviour = behaviour or {}
+        self.delay = delay
+        self.submitted = []
+
+    def submit(self, packet, on_response=None):
+        self.submitted.append(packet)
+        action = self.behaviour.get(packet.protocol, "reply")
+        if action == "no_route":
+            return Verdict.NO_ROUTE
+        if action == "drop":
+            return Verdict.DROPPED
+        if action == "silent":
+            return Verdict.DELIVERED
+        if on_response is not None:
+            if packet.protocol is Protocol.DNS:
+                reply = packet.reply(address="203.0.113.10", rcode="NOERROR")
+            elif packet.protocol is Protocol.TCP and packet.payload.get("flags") == "SYN":
+                reply = packet.reply(flags="SYN-ACK")
+            else:
+                reply = packet.reply(ok=True)
+            self.sim.schedule(self.delay, on_response, reply)
+        return Verdict.DELIVERED
+
+
+class TestPacket:
+    def test_reply_reverses_direction_and_addresses(self):
+        packet = Packet(Protocol.TCP, Direction.UPLINK, src_ip="a", dst_ip="b",
+                        src_port=1, dst_port=2)
+        reply = packet.reply()
+        assert reply.direction is Direction.DOWNLINK
+        assert (reply.src_ip, reply.dst_ip) == ("b", "a")
+        assert (reply.src_port, reply.dst_port) == (2, 1)
+
+    def test_packet_ids_unique(self):
+        a = Packet(Protocol.UDP, Direction.UPLINK)
+        b = Packet(Protocol.UDP, Direction.UPLINK)
+        assert a.packet_id != b.packet_id
+
+
+class TestDnsClient:
+    def make(self, behaviour=None):
+        sim = Simulator()
+        plane = StubPlane(sim, behaviour)
+        dns = DnsClient(sim, plane)
+        dns.configure("10.10.0.53")
+        return sim, plane, dns
+
+    def test_resolution_success(self):
+        sim, _, dns = self.make()
+        outcomes = []
+        dns.query("example.com", outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[0].result is DnsResult.RESOLVED
+        assert outcomes[0].address == "203.0.113.10"
+
+    def test_timeout_when_server_silent(self):
+        sim, _, dns = self.make({Protocol.DNS: "silent"})
+        outcomes = []
+        dns.query("example.com", outcomes.append, timeout=2.0)
+        sim.run_until_idle()
+        assert outcomes[0].result is DnsResult.TIMEOUT
+        assert outcomes[0].latency == 2.0
+
+    def test_no_route(self):
+        sim, _, dns = self.make({Protocol.DNS: "no_route"})
+        outcomes = []
+        dns.query("example.com", outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[0].result is DnsResult.NO_ROUTE
+
+    def test_unconfigured_server_servfail(self):
+        sim = Simulator()
+        dns = DnsClient(sim, StubPlane(sim))
+        outcomes = []
+        dns.query("example.com", outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[0].result is DnsResult.SERVFAIL
+
+    def test_consecutive_timeouts_counts_trailing_run(self):
+        sim, plane, dns = self.make({Protocol.DNS: "silent"})
+        for _ in range(3):
+            dns.query("x", lambda outcome: None, timeout=1.0)
+        sim.run_until_idle()
+        assert dns.consecutive_timeouts() == 3
+        plane.behaviour[Protocol.DNS] = "reply"
+        dns.query("x", lambda outcome: None)
+        sim.run_until_idle()
+        assert dns.consecutive_timeouts() == 0
+
+    def test_consecutive_timeouts_window_expiry(self):
+        sim, _, dns = self.make({Protocol.DNS: "silent"})
+        dns.query("x", lambda outcome: None, timeout=1.0)
+        sim.run_until_idle()
+        sim.run(until=sim.now + 3600.0)
+        assert dns.consecutive_timeouts(window=1800.0) == 0
+
+
+class TestTcpClient:
+    def make(self, behaviour=None):
+        sim = Simulator()
+        plane = StubPlane(sim, behaviour)
+        return sim, plane, TcpClient(sim, plane)
+
+    def test_connect_success(self):
+        sim, _, tcp = self.make()
+        conns = []
+        tcp.connect("203.0.113.10", 443, conns.append)
+        sim.run_until_idle()
+        assert conns[0].established
+
+    def test_connect_timeout(self):
+        sim, _, tcp = self.make({Protocol.TCP: "drop"})
+        conns = []
+        tcp.connect("203.0.113.10", 443, conns.append, timeout=3.0)
+        sim.run_until_idle()
+        assert not conns[0].established
+        assert tcp.stats.failure_rate(sim.now) == 1.0
+
+    def test_request_on_established(self):
+        sim, _, tcp = self.make()
+        results = []
+        tcp.connect("x", 443, lambda conn: tcp.request(conn, results.append))
+        sim.run_until_idle()
+        assert results == [True]
+
+    def test_request_on_closed_fails_fast(self):
+        sim, _, tcp = self.make()
+        conns = []
+        tcp.connect("x", 443, conns.append)
+        sim.run_until_idle()
+        tcp.close_all()
+        results = []
+        tcp.request(conns[0], results.append)
+        sim.run_until_idle()
+        assert results == [False]
+
+    def test_close_all_counts(self):
+        sim, _, tcp = self.make()
+        for _ in range(3):
+            tcp.connect("x", 443, lambda conn: None)
+        sim.run_until_idle()
+        assert tcp.close_all() == 3
+
+
+class TestTcpStats:
+    def test_failure_rate_windowed(self):
+        stats = TcpStats()
+        stats.note_attempt(0.0, True)
+        stats.note_attempt(50.0, False)
+        stats.note_attempt(55.0, False)
+        assert stats.failure_rate(60.0) == pytest.approx(2 / 3)
+        # At t=70 the early success ages out of the 60 s window.
+        assert stats.failure_rate(70.0) == 1.0
+
+    def test_outbound_without_inbound(self):
+        stats = TcpStats()
+        for i in range(12):
+            stats.note_outbound(float(i))
+        assert stats.outbound_without_inbound(12.0)
+        stats.note_inbound(11.5)
+        assert not stats.outbound_without_inbound(12.0)
+
+    def test_prune_drops_old_entries(self):
+        stats = TcpStats()
+        stats.note_attempt(0.0, True)
+        stats.note_outbound(0.0)
+        stats.prune(500.0)
+        assert not stats.attempts and not stats.outbound
+
+
+class TestUdpClient:
+    def test_exchange_reply(self):
+        sim = Simulator()
+        udp = UdpClient(sim, StubPlane(sim))
+        outcomes = []
+        udp.exchange("x", 9000, outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[0].result is UdpResult.REPLIED
+
+    def test_exchange_timeout_and_loss_rate(self):
+        sim = Simulator()
+        udp = UdpClient(sim, StubPlane(sim, {Protocol.UDP: "drop"}))
+        outcomes = []
+        udp.exchange("x", 9000, outcomes.append, timeout=1.0)
+        sim.run_until_idle()
+        assert outcomes[0].result is UdpResult.TIMEOUT
+        assert udp.recent_loss_rate() == 1.0
+
+
+class TestProber:
+    def make(self, behaviour=None):
+        sim = Simulator()
+        plane = StubPlane(sim, behaviour)
+        dns = DnsClient(sim, plane)
+        dns.configure("10.10.0.53")
+        tcp = TcpClient(sim, plane)
+        return sim, ConnectivityProber(sim, dns, tcp)
+
+    def test_success_path(self):
+        sim, prober = self.make()
+        outcomes = []
+        prober.probe(outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[0].result is ProbeResult.SUCCESS
+        assert prober.last_ok()
+
+    def test_dns_failure(self):
+        sim, prober = self.make({Protocol.DNS: "silent"})
+        outcomes = []
+        prober.probe(outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[0].result is ProbeResult.DNS_FAILURE
+
+    def test_connect_failure_uses_cached_dns(self):
+        sim, prober = self.make()
+        outcomes = []
+        prober.probe(outcomes.append)
+        sim.run_until_idle()
+        # Now break TCP only: probe uses the cached address and reports
+        # a connect failure, not a DNS failure.
+        prober.tcp.user_plane.behaviour[Protocol.TCP] = "drop"
+        prober.probe(outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[1].result is ProbeResult.CONNECT_FAILURE
+
+    def test_dns_outage_masked_by_cache(self):
+        sim, prober = self.make()
+        outcomes = []
+        prober.probe(outcomes.append)
+        sim.run_until_idle()
+        prober.dns.user_plane.behaviour[Protocol.DNS] = "silent"
+        prober.probe(outcomes.append)
+        sim.run_until_idle()
+        assert outcomes[1].result is ProbeResult.SUCCESS
