@@ -1,10 +1,14 @@
-"""§7.1.1/§6 bench: SEED failure-handling coverage."""
+"""§7.1.1/§6 bench: SEED failure-handling coverage.
+
+Runs through the sharded fleet engine (``repro.fleet``) with the same
+master seed as the sequential path, which it reproduces exactly.
+"""
 
 from repro.experiments import coverage
 
 
 def test_coverage(report):
-    result = report(coverage.run, coverage.render, runs=30, seed=7000)
+    result = report(coverage.run_fleet, coverage.render, runs=30, seed=7000, workers=2)
     # Paper: 89.4 % control plane, 95.5 % data plane handled without
     # user action; stage-1 deployment covers ≈ 63 % of all failures.
     assert abs(result.weighted["control_plane"] - 0.894) < 0.04

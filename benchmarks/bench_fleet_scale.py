@@ -1,0 +1,64 @@
+"""Fleet scaling bench: scenarios/sec and speedup at 1/2/4 workers.
+
+Runs the Table 4 suite (reduced size) through ``repro.fleet`` at
+increasing worker counts and writes ``BENCH_fleet.json`` at the repo
+root so the throughput trajectory is tracked across revisions. The
+speedup assertion is gated on the machine actually having the cores:
+on a single-core container the parallel path must merely not collapse.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.experiments import table4
+from repro.fleet import FleetRunner
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_fleet_scale():
+    plan = table4.fleet_plan(runs=8, seed=4000, shard_size=2)
+    measured = {}
+    baseline_aggregate = None
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        report = FleetRunner(plan, workers=workers).run()
+        wall = time.perf_counter() - started
+        assert report.complete, f"failed shards at workers={workers}"
+        if baseline_aggregate is None:
+            baseline_aggregate = report.aggregate
+        else:
+            # Throughput must never buy back determinism.
+            assert report.aggregate == baseline_aggregate
+        measured[workers] = {
+            "wall_seconds": round(wall, 3),
+            "scenarios_per_sec": round(len(report.records) / wall, 3),
+            "tasks": len(report.records),
+        }
+
+    base = measured[1]["wall_seconds"]
+    for workers in WORKER_COUNTS:
+        measured[workers]["speedup"] = round(base / measured[workers]["wall_seconds"], 3)
+
+    BENCH_PATH.write_text(json.dumps(
+        {"suite": "table4", "runs": 8, "cpu_count": os.cpu_count(),
+         "workers": {str(w): measured[w] for w in WORKER_COUNTS}},
+        indent=1, sort_keys=True) + "\n")
+
+    rows = [[str(w), f"{m['wall_seconds']:.2f}", f"{m['scenarios_per_sec']:.1f}",
+             f"{m['speedup']:.2f}x"] for w, m in measured.items()]
+    print()
+    print(format_table(["Workers", "Wall (s)", "Scenarios/sec", "Speedup"],
+                       rows, title="Fleet scaling — Table 4 suite (reduced)"))
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert measured[4]["speedup"] >= 2.0
+    else:
+        # Single/dual-core box: process fan-out cannot beat the clock,
+        # but overhead must stay bounded.
+        assert measured[4]["speedup"] > 0.3

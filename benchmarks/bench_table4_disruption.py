@@ -3,6 +3,11 @@
 The headline result (§7.1.1): SEED reduces median disruption from
 12.4→8.0/4.4 s (control plane), 476→0.9/0.6 s (data plane), and
 31.2→1.1/0.4 s (data delivery).
+
+Runs through the sharded fleet engine (``repro.fleet``); the fleet
+path reproduces the sequential suite's percentiles exactly for the
+same master seed (pinned by ``tests/test_fleet_runner.py``), so the
+paper assertions below double as the parallel engine's oracle.
 """
 
 from repro.experiments import table4
@@ -11,7 +16,7 @@ from repro.testbed.harness import HandlingMode
 
 
 def test_table4_disruption(report):
-    result = report(table4.run, table4.render, runs=30, seed=4000)
+    result = report(table4.run_fleet, table4.render, runs=30, seed=4000, workers=2)
     cells = result.cells
 
     def cell(fc, mode):

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.core.applet import SeedApplet
 from repro.core.carrier_app import SeedCarrierApp
+from repro.core.online_learning import deserialize_records, serialize_records
 from repro.core.plugin import SeedCorePlugin
 from repro.core.reset import ResetAction
 from repro.device.device import CARRIER_INSTALL_KEY, Device
@@ -90,14 +91,8 @@ def _make_ota_flush(device: Device, applet: SeedApplet, plugin: SeedCorePlugin):
             return False
         # Serialise/deserialise across the OTA boundary so nothing
         # object-shaped sneaks through the channel.
-        wire = json.dumps(
-            {str(c): {a.name: n for a, n in acts.items()} for c, acts in records.items()}
-        )
-        parsed = {
-            int(c): {ResetAction[a]: n for a, n in acts.items()}
-            for c, acts in json.loads(wire).items()
-        }
-        plugin.receive_sim_records(parsed)
+        wire = json.dumps(serialize_records(records))
+        plugin.receive_sim_records(deserialize_records(json.loads(wire)))
         return True
 
     def flush() -> bool:

@@ -21,6 +21,43 @@ from typing import Callable
 
 from repro.core.reset import ResetAction, trial_order
 
+# The JSON-safe wire form of a record book: cause (stringified int) ->
+# action name -> success count. Used by the OTA upload channel and by
+# the fleet aggregator when it merges per-shard learner states.
+WireRecords = dict[str, dict[str, int]]
+
+
+def serialize_records(records: dict[int, dict[ResetAction, int]]) -> WireRecords:
+    """Record book -> JSON-safe wire form (sorted for stable output)."""
+    return {
+        str(cause): {action.name: count for action, count in sorted(
+            actions.items(), key=lambda item: item[0].value)}
+        for cause, actions in sorted(records.items())
+    }
+
+
+def deserialize_records(wire: WireRecords) -> dict[int, dict[ResetAction, int]]:
+    """Wire form -> record book with enum keys."""
+    return {
+        int(cause): {ResetAction[name]: count for name, count in actions.items()}
+        for cause, actions in wire.items()
+    }
+
+
+def merge_records(into: WireRecords, other: WireRecords) -> WireRecords:
+    """Sum ``other``'s success counts into ``into`` (in place).
+
+    Count merging is commutative and associative, so merging per-shard
+    records in any order yields the same ``NetRecord`` the sequential
+    Algorithm 1 loop would have built — the property the fleet
+    aggregator's determinism guarantee rests on.
+    """
+    for cause, actions in other.items():
+        per_cause = into.setdefault(cause, {})
+        for action, count in actions.items():
+            per_cause[action] = per_cause.get(action, 0) + count
+    return into
+
 
 @dataclass
 class SimRecorder:
@@ -100,3 +137,12 @@ class InfraLearner:
         if not per_cause:
             return None
         return max(per_cause.items(), key=lambda item: (item[1], -item[0].value))[0]
+
+    # -- fleet aggregation -------------------------------------------------
+    def export_records(self) -> WireRecords:
+        """The crowdsourced ``NetRecord`` in wire form."""
+        return serialize_records(self.net_record)
+
+    def absorb(self, wire: WireRecords) -> None:
+        """Crowdsource a wire-form record book (e.g. another shard's)."""
+        self.crowdsource(deserialize_records(wire))

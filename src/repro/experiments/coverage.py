@@ -91,6 +91,58 @@ def run(runs: int = 30, seed: int = 7000) -> CoverageResult:
     return result
 
 
+def _dd_runs(runs: int) -> int:
+    return max(6, runs // 3)
+
+
+def fleet_plan(runs: int = 30, seed: int = 7000, shard_size: int = 4):
+    """The coverage sweep as a sharded fleet plan (mirrors :func:`run`)."""
+    from repro.fleet import planner
+
+    tasks = []
+    for failure_class in (FailureClass.CONTROL_PLANE, FailureClass.DATA_PLANE):
+        tasks.extend(planner.suite_tasks(
+            failure_class, HandlingMode.SEED_R, runs=runs, seed=seed,
+            start_task_id=len(tasks)))
+    tasks.extend(planner.suite_tasks(
+        FailureClass.DATA_DELIVERY, HandlingMode.SEED_R, runs=_dd_runs(runs),
+        seed=seed, start_task_id=len(tasks)))
+    return planner.FleetPlan(master_seed=seed,
+                             shards=planner.shard_tasks(tasks, shard_size))
+
+
+def result_from_fleet(report) -> CoverageResult:
+    """Coverage numbers from a fleet report's task records."""
+    result = CoverageResult()
+    result.weighted = weighted_coverage()
+    for failure_class, key in (
+        (FailureClass.CONTROL_PLANE, "control_plane"),
+        (FailureClass.DATA_PLANE, "data_plane"),
+    ):
+        result.measured[key] = report.coverage(failure_class, HandlingMode.SEED_R)
+    dd = [r for r in report.records
+          if r["failure_class"] == FailureClass.DATA_DELIVERY.value]
+    result.measured["data_delivery"] = sum(
+        1 for r in dd if r["recovered"] and r["duration"] < 60.0
+    ) / len(dd)
+    return result
+
+
+def run_fleet(runs: int = 30, seed: int = 7000, workers: int = 2,
+              out_dir: str | None = None, shard_size: int = 4,
+              retries: int = 2) -> CoverageResult:
+    """The coverage sweep through the sharded fleet engine."""
+    from repro.fleet import FleetRunner
+
+    plan = fleet_plan(runs=runs, seed=seed, shard_size=shard_size)
+    report = FleetRunner(plan, workers=workers, retries=retries,
+                         out_dir=out_dir).run()
+    if report.failed_shards:
+        raise RuntimeError(
+            f"coverage fleet run left failed shards: {sorted(report.failed_shards)}")
+    return result_from_fleet(report)
+
+
 def render(result: CoverageResult) -> str:
     rows = [
         ["control plane", f"{result.measured.get('control_plane', float('nan')) * 100:.1f}%",

@@ -12,7 +12,7 @@ separately via the report channel (see the coverage experiment).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.analysis.cdf import percentile
 from repro.analysis.tables import format_table
@@ -81,6 +81,66 @@ def run(runs: int = 40, seed: int = 4000) -> Table4Result:
             samples=len(durations),
         )
     return result
+
+
+def _dd_runs(runs: int) -> int:
+    return max(6, runs // 4)
+
+
+def fleet_plan(runs: int = 40, seed: int = 4000, shard_size: int = 4):
+    """The Table 4 suite as a sharded fleet plan.
+
+    Task expansion mirrors :func:`run` exactly — same per-run seeds,
+    same weighted scenario draws, same data-delivery timer override —
+    so the fleet path must reproduce the sequential percentiles to the
+    bit (the correctness oracle for the parallel engine).
+    """
+    from repro.fleet import planner
+
+    dd_timers = asdict(DD_ANDROID_TIMERS)
+    dd_timers["ladder"] = list(dd_timers["ladder"])
+    tasks = []
+    for failure_class in (FailureClass.CONTROL_PLANE, FailureClass.DATA_PLANE):
+        for handling in HandlingMode:
+            tasks.extend(planner.suite_tasks(
+                failure_class, handling, runs=runs, seed=seed,
+                start_task_id=len(tasks)))
+    for handling in HandlingMode:
+        tasks.extend(planner.repeat_tasks(
+            SCN_DD_GATEWAY, handling, runs=_dd_runs(runs), seed=seed,
+            start_task_id=len(tasks), android_timers=dd_timers))
+    return planner.FleetPlan(master_seed=seed,
+                             shards=planner.shard_tasks(tasks, shard_size))
+
+
+def result_from_fleet(report) -> Table4Result:
+    """Build the Table 4 cells from a fleet report's task records."""
+    result = Table4Result()
+    for failure_class in (FailureClass.CONTROL_PLANE, FailureClass.DATA_PLANE,
+                          FailureClass.DATA_DELIVERY):
+        for handling in HandlingMode:
+            durations = report.durations(failure_class, handling)
+            result.cells[(failure_class, handling)] = Cell(
+                median=percentile(durations, 50),
+                p90=percentile(durations, 90),
+                samples=len(durations),
+            )
+    return result
+
+
+def run_fleet(runs: int = 40, seed: int = 4000, workers: int = 2,
+              out_dir: str | None = None, shard_size: int = 4,
+              retries: int = 2) -> Table4Result:
+    """Table 4 through the sharded fleet engine."""
+    from repro.fleet import FleetRunner
+
+    plan = fleet_plan(runs=runs, seed=seed, shard_size=shard_size)
+    report = FleetRunner(plan, workers=workers, retries=retries,
+                         out_dir=out_dir).run()
+    if report.failed_shards:
+        raise RuntimeError(
+            f"table4 fleet run left failed shards: {sorted(report.failed_shards)}")
+    return result_from_fleet(report)
 
 
 def render(result: Table4Result) -> str:

@@ -1,0 +1,53 @@
+"""``repro.fleet`` — sharded multi-process fleet engine.
+
+Turns the single-UE :class:`~repro.testbed.harness.Testbed` into a
+horizontally sharded sweep runner: a planner expands a scenario ×
+handling-mode × replica matrix (or a paper-suite replay) into shards,
+a process pool executes one testbed per task with deterministically
+derived seeds, a checkpoint layer makes runs resumable, and an
+aggregator merges shard results into fleet-level percentiles, coverage,
+and one crowdsourced §5.3 learner state. ``python -m repro.fleet``
+exposes the same machinery on the command line.
+"""
+
+from repro.fleet.aggregate import aggregate_records, canonical_json, merge_learning
+from repro.fleet.checkpoint import Checkpoint, CheckpointMismatch
+from repro.fleet.metrics import FleetCell, FleetReport
+from repro.fleet.planner import (
+    FleetPlan,
+    Shard,
+    TaskSpec,
+    filter_scenarios,
+    matrix_tasks,
+    plan_matrix,
+    repeat_tasks,
+    shard_tasks,
+    suite_tasks,
+)
+from repro.fleet.pool import PoolOutcome, execute_plan
+from repro.fleet.runner import FleetRunner
+from repro.fleet.worker import run_shard, run_task
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointMismatch",
+    "FleetCell",
+    "FleetPlan",
+    "FleetReport",
+    "FleetRunner",
+    "PoolOutcome",
+    "Shard",
+    "TaskSpec",
+    "aggregate_records",
+    "canonical_json",
+    "execute_plan",
+    "filter_scenarios",
+    "matrix_tasks",
+    "merge_learning",
+    "plan_matrix",
+    "repeat_tasks",
+    "run_shard",
+    "run_task",
+    "shard_tasks",
+    "suite_tasks",
+]

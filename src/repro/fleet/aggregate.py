@@ -1,0 +1,108 @@
+"""Fleet-level aggregation of per-shard results.
+
+Merges task records (ordered by ``task_id``, so the output is
+independent of shard completion order and worker count) into:
+
+* per ``(failure_class, handling)`` disruption cells — median / p90 /
+  sample count over the timed runs, the Table 4 math via
+  ``analysis.cdf``;
+* coverage per cell — the §7.1.1 handled-without-user fraction;
+* per-scenario sample counts and medians;
+* one crowdsourced §5.3 learner state, merged from the shards' wire
+  records (count merging is order-independent).
+
+``canonical_json`` renders the aggregate with sorted keys and fixed
+separators: two runs of the same plan produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.cdf import percentile
+from repro.core.online_learning import InfraLearner, WireRecords, merge_records
+
+
+def merge_learning(shard_learning: Iterable[WireRecords]) -> WireRecords:
+    """Sum per-shard wire records into one crowdsourced record book."""
+    merged: WireRecords = {}
+    for wire in shard_learning:
+        merge_records(merged, wire)
+    return merged
+
+
+def learner_from_wire(wire: WireRecords, learning_rate: float = 0.05) -> InfraLearner:
+    """An :class:`InfraLearner` holding the merged fleet state."""
+    learner = InfraLearner(learning_rate=learning_rate)
+    learner.absorb(wire)
+    return learner
+
+
+def _cell_key(record: dict) -> str:
+    return f"{record['failure_class']}/{record['handling']}"
+
+
+def aggregate_records(
+    records: list[dict],
+    shard_learning: Iterable[WireRecords] = (),
+) -> dict:
+    """Merge task records + learning wires into the aggregate dict."""
+    ordered = sorted(records, key=lambda r: r["task_id"])
+
+    cells: dict[str, dict] = {}
+    durations: dict[str, list[float]] = {}
+    handled: dict[str, int] = {}
+    totals: dict[str, int] = {}
+    per_scenario: dict[str, dict] = {}
+
+    for record in ordered:
+        key = _cell_key(record)
+        totals[key] = totals.get(key, 0) + 1
+        if record["handled"]:
+            handled[key] = handled.get(key, 0) + 1
+        if record["timed"]:
+            durations.setdefault(key, []).append(record["duration"])
+        scenario = per_scenario.setdefault(
+            record["scenario"], {"samples": 0, "durations": []})
+        scenario["samples"] += 1
+        if record["timed"]:
+            scenario["durations"].append(record["duration"])
+
+    for key, total in totals.items():
+        timed = durations.get(key, [])
+        cells[key] = {
+            "samples": total,
+            "timed_samples": len(timed),
+            "median": percentile(timed, 50) if timed else None,
+            "p90": percentile(timed, 90) if timed else None,
+            "coverage": handled.get(key, 0) / total,
+        }
+
+    scenarios = {}
+    for name, stats in per_scenario.items():
+        timed = stats["durations"]
+        scenarios[name] = {
+            "samples": stats["samples"],
+            "median": percentile(timed, 50) if timed else None,
+        }
+
+    merged_wire = merge_learning(shard_learning)
+    learner = learner_from_wire(merged_wire)
+    learning = {
+        "net_record": merged_wire,
+        "best_action": {cause: learner.best_action(int(cause)).name
+                        for cause in sorted(merged_wire)},
+    }
+
+    return {
+        "tasks": len(ordered),
+        "cells": cells,
+        "scenarios": scenarios,
+        "learning": learning,
+    }
+
+
+def canonical_json(aggregate: dict) -> str:
+    """Byte-stable rendering (the determinism-guarantee surface)."""
+    return json.dumps(aggregate, sort_keys=True, separators=(",", ":")) + "\n"

@@ -1,0 +1,121 @@
+"""Run manifest and shard-result checkpointing.
+
+A fleet run directory holds three files:
+
+* ``manifest.json`` — master seed, plan fingerprint, shard/task counts;
+  written once, verified on resume so a directory can never silently
+  mix results from two different plans.
+* ``shards.jsonl`` — one line per shard *attempt outcome* (``ok`` with
+  the full shard result, or ``failed`` with the error). Appended and
+  flushed per shard, so a killed run loses at most the shard that was
+  in flight; a truncated trailing line (the kill landed mid-write) is
+  tolerated and simply re-run.
+* ``aggregate.json`` — written by the runner after a complete pass.
+
+Resume semantics: shards with an ``ok`` line are skipped; everything
+else (missing, ``failed``, torn line) is re-executed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.fleet.planner import FleetPlan
+
+MANIFEST_NAME = "manifest.json"
+SHARDS_NAME = "shards.jsonl"
+AGGREGATE_NAME = "aggregate.json"
+
+
+class CheckpointMismatch(RuntimeError):
+    """The run directory belongs to a different plan."""
+
+
+class Checkpoint:
+    """Durable shard-result log for one fleet run directory."""
+
+    def __init__(self, out_dir: str | os.PathLike) -> None:
+        self.out_dir = Path(out_dir)
+        self.manifest_path = self.out_dir / MANIFEST_NAME
+        self.shards_path = self.out_dir / SHARDS_NAME
+        self.aggregate_path = self.out_dir / AGGREGATE_NAME
+
+    # ------------------------------------------------------------------
+    def bind(self, plan: FleetPlan) -> None:
+        """Create or verify the manifest for ``plan``."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "master_seed": plan.master_seed,
+            "fingerprint": plan.fingerprint(),
+            "shards": len(plan.shards),
+            "tasks": len(plan.tasks),
+        }
+        if self.manifest_path.exists():
+            existing = json.loads(self.manifest_path.read_text())
+            if existing.get("fingerprint") != manifest["fingerprint"]:
+                raise CheckpointMismatch(
+                    f"{self.out_dir} was produced by plan "
+                    f"{existing.get('fingerprint')!r}, not "
+                    f"{manifest['fingerprint']!r}; use a fresh --out directory"
+                )
+            return
+        self.manifest_path.write_text(json.dumps(manifest, sort_keys=True, indent=1))
+
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[dict]:
+        if not self.shards_path.exists():
+            return []
+        entries = []
+        with self.shards_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # Torn tail line from a killed writer: drop it; the
+                    # shard has no ok-record so it will simply re-run.
+                    continue
+        return entries
+
+    def completed(self) -> dict[int, dict]:
+        """shard_id -> shard result, for shards with an ``ok`` line."""
+        done = {}
+        for entry in self._entries():
+            if entry.get("status") == "ok":
+                done[entry["shard_id"]] = entry["result"]
+        return done
+
+    def failures(self) -> dict[int, str]:
+        """shard_id -> last error, for shards that never succeeded."""
+        failed: dict[int, str] = {}
+        for entry in self._entries():
+            shard_id = entry["shard_id"]
+            if entry.get("status") == "ok":
+                failed.pop(shard_id, None)
+            else:
+                failed[shard_id] = entry.get("error", "unknown error")
+        return failed
+
+    # ------------------------------------------------------------------
+    def _append(self, entry: dict) -> None:
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        with self.shards_path.open("a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_ok(self, shard_id: int, result: dict, attempts: int) -> None:
+        self._append({"shard_id": shard_id, "status": "ok",
+                      "attempts": attempts, "result": result})
+
+    def record_failed(self, shard_id: int, error: str, attempts: int) -> None:
+        self._append({"shard_id": shard_id, "status": "failed",
+                      "attempts": attempts, "error": error})
+
+    # ------------------------------------------------------------------
+    def write_aggregate(self, canonical_json: str) -> None:
+        self.aggregate_path.write_text(canonical_json)

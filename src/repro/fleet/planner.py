@@ -1,0 +1,222 @@
+"""Scenario-matrix expansion into deterministic shards.
+
+The planner turns a sweep description — either an explicit scenario ×
+handling-mode × replica matrix, or a paper-suite replay (the trace-mix
+weighted draws of :func:`repro.testbed.harness.run_suite`) — into a
+flat list of :class:`TaskSpec` s, then packs them into :class:`Shard` s
+of a configurable size. Every task carries its own seed:
+
+* matrix tasks derive it as ``derive_seed(master, scenario, mode,
+  replica)``, so the seed depends only on the task's coordinates;
+* suite tasks use ``master + replica`` and the suite's weighted picker,
+  byte-compatible with the sequential ``run_suite`` path so the
+  existing paper benchmarks double as the fleet's correctness oracle.
+
+Plans are pure data (JSON-safe all the way down) and carry a content
+fingerprint, which the checkpoint layer uses to refuse resuming a run
+directory that was produced by a different plan.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.infra.failures import FailureClass
+from repro.simkernel.rng import derive_seed
+from repro.testbed.harness import HandlingMode, pick_scenario
+from repro.testbed.scenarios import ALL_SCENARIOS, Scenario, scenario_by_name
+
+DEFAULT_SHARD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One scenario run: everything a worker needs, JSON-safe."""
+
+    task_id: int
+    scenario: str
+    handling: str                       # HandlingMode.value
+    seed: int
+    replica: int = 0
+    android_timers: dict | None = None  # AndroidTimers kwargs, or None for stock
+    horizon: float | None = None
+
+    def to_json(self) -> dict:
+        spec = {
+            "task_id": self.task_id, "scenario": self.scenario,
+            "handling": self.handling, "seed": self.seed,
+            "replica": self.replica,
+        }
+        if self.android_timers is not None:
+            spec["android_timers"] = self.android_timers
+        if self.horizon is not None:
+            spec["horizon"] = self.horizon
+        return spec
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TaskSpec":
+        return cls(
+            task_id=data["task_id"], scenario=data["scenario"],
+            handling=data["handling"], seed=data["seed"],
+            replica=data.get("replica", 0),
+            android_timers=data.get("android_timers"),
+            horizon=data.get("horizon"),
+        )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A batch of tasks executed by one worker invocation."""
+
+    shard_id: int
+    tasks: tuple[TaskSpec, ...]
+
+    def to_json(self) -> dict:
+        return {"shard_id": self.shard_id,
+                "tasks": [task.to_json() for task in self.tasks]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Shard":
+        return cls(shard_id=data["shard_id"],
+                   tasks=tuple(TaskSpec.from_json(t) for t in data["tasks"]))
+
+
+@dataclass
+class FleetPlan:
+    """The full sweep: master seed + sharded task list."""
+
+    master_seed: int
+    shards: tuple[Shard, ...] = field(default_factory=tuple)
+
+    @property
+    def tasks(self) -> list[TaskSpec]:
+        return [task for shard in self.shards for task in shard.tasks]
+
+    def to_json(self) -> dict:
+        return {"master_seed": self.master_seed,
+                "shards": [shard.to_json() for shard in self.shards]}
+
+    def fingerprint(self) -> str:
+        """Content hash used to match checkpoints to plans."""
+        canonical = json.dumps(self.to_json(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Task expansion
+# ---------------------------------------------------------------------------
+def filter_scenarios(patterns: list[str] | None) -> list[Scenario]:
+    """Scenarios whose names match any glob pattern (all when None)."""
+    if not patterns:
+        return list(ALL_SCENARIOS)
+    matched = [s for s in ALL_SCENARIOS
+               if any(fnmatch.fnmatch(s.name, p) for p in patterns)]
+    if not matched:
+        raise ValueError(f"no scenarios match {patterns!r}")
+    return matched
+
+
+def matrix_tasks(
+    scenarios: list[Scenario],
+    modes: list[HandlingMode],
+    replicas: int,
+    master_seed: int,
+    start_task_id: int = 0,
+    android_timers: dict | None = None,
+) -> list[TaskSpec]:
+    """Expand scenario × mode × replica; seeds from task coordinates."""
+    tasks = []
+    task_id = start_task_id
+    for scenario in scenarios:
+        for mode in modes:
+            for replica in range(replicas):
+                tasks.append(TaskSpec(
+                    task_id=task_id,
+                    scenario=scenario.name,
+                    handling=mode.value,
+                    seed=derive_seed(master_seed, scenario.name, mode.value, replica),
+                    replica=replica,
+                    android_timers=android_timers,
+                ))
+                task_id += 1
+    return tasks
+
+
+def suite_tasks(
+    failure_class: FailureClass,
+    handling: HandlingMode,
+    runs: int,
+    seed: int,
+    start_task_id: int = 0,
+    android_timers: dict | None = None,
+) -> list[TaskSpec]:
+    """The ``run_suite`` replay: weighted draws, seeds ``seed + index``."""
+    tasks = []
+    for index in range(runs):
+        scenario = pick_scenario(failure_class, seed + index)
+        tasks.append(TaskSpec(
+            task_id=start_task_id + index,
+            scenario=scenario.name,
+            handling=handling.value,
+            seed=seed + index,
+            replica=index,
+            android_timers=android_timers,
+        ))
+    return tasks
+
+
+def repeat_tasks(
+    scenario: Scenario,
+    handling: HandlingMode,
+    runs: int,
+    seed: int,
+    start_task_id: int = 0,
+    android_timers: dict | None = None,
+) -> list[TaskSpec]:
+    """One fixed scenario over ``runs`` seeds (``seed + index``)."""
+    return [TaskSpec(
+        task_id=start_task_id + index,
+        scenario=scenario.name,
+        handling=handling.value,
+        seed=seed + index,
+        replica=index,
+        android_timers=android_timers,
+    ) for index in range(runs)]
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+def shard_tasks(tasks: list[TaskSpec], shard_size: int = DEFAULT_SHARD_SIZE) -> tuple[Shard, ...]:
+    """Pack tasks into shards of ``shard_size`` (last may be smaller)."""
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    shards = []
+    for shard_id, start in enumerate(range(0, len(tasks), shard_size)):
+        shards.append(Shard(shard_id=shard_id,
+                            tasks=tuple(tasks[start:start + shard_size])))
+    return tuple(shards)
+
+
+def plan_matrix(
+    scenario_patterns: list[str] | None = None,
+    modes: list[HandlingMode] | None = None,
+    replicas: int = 1,
+    master_seed: int = 0,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> FleetPlan:
+    """Plan a scenario-matrix sweep (the generic CLI path)."""
+    scenarios = filter_scenarios(scenario_patterns)
+    modes = list(modes) if modes else list(HandlingMode)
+    tasks = matrix_tasks(scenarios, modes, replicas, master_seed)
+    return FleetPlan(master_seed=master_seed,
+                     shards=shard_tasks(tasks, shard_size))
+
+
+def resolve_task_scenario(task: TaskSpec) -> Scenario:
+    """The catalog scenario a task refers to (raises on unknown names)."""
+    return scenario_by_name(task.scenario)

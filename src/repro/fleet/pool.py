@@ -1,0 +1,116 @@
+"""Sharded execution over a multiprocessing worker pool.
+
+``execute_plan`` runs every shard of a :class:`FleetPlan` through a
+shard function (by default :func:`repro.fleet.worker.run_shard`),
+either inline (``workers <= 1``) or on a
+``concurrent.futures.ProcessPoolExecutor``. Execution is organised in
+*rounds*: each round submits all still-pending shards, collects
+outcomes, and re-queues failures until their attempt budget
+(``1 + retries``) is exhausted. A crashed worker process (which breaks
+the executor) therefore costs one attempt for the shards of that round
+and a fresh executor for the next — never the run.
+
+Results are keyed by ``shard_id`` and returned sorted, so downstream
+aggregation sees the same sequence no matter how the pool interleaved
+the work.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.fleet.checkpoint import Checkpoint
+from repro.fleet.planner import FleetPlan
+from repro.fleet.worker import run_shard
+
+
+@dataclass
+class PoolOutcome:
+    """What happened to every shard of a plan."""
+
+    results: dict[int, dict] = field(default_factory=dict)   # shard_id -> shard result
+    failed: dict[int, str] = field(default_factory=dict)     # shard_id -> last error
+    executed: int = 0                                        # shards run this invocation
+    skipped: int = 0                                         # shards restored from checkpoint
+
+    def sorted_results(self) -> list[dict]:
+        return [self.results[sid] for sid in sorted(self.results)]
+
+
+def execute_plan(
+    plan: FleetPlan,
+    workers: int = 1,
+    retries: int = 2,
+    checkpoint: Checkpoint | None = None,
+    shard_fn: Callable[[dict], dict] = run_shard,
+) -> PoolOutcome:
+    """Run all shards, resuming from ``checkpoint`` when given."""
+    outcome = PoolOutcome()
+    if checkpoint is not None:
+        checkpoint.bind(plan)
+        outcome.results.update(checkpoint.completed())
+        outcome.skipped = len(outcome.results)
+
+    payloads = {s.shard_id: s.to_json() for s in plan.shards}
+    pending = {sid: 0 for sid in payloads if sid not in outcome.results}
+    max_attempts = 1 + max(0, retries)
+
+    while pending:
+        round_ids = sorted(pending)
+        round_outcomes = _run_round(shard_fn, payloads, round_ids, workers)
+        for sid, result, error in round_outcomes:
+            pending[sid] += 1
+            attempts = pending[sid]
+            if error is None:
+                outcome.results[sid] = result
+                outcome.executed += 1
+                outcome.failed.pop(sid, None)
+                del pending[sid]
+                if checkpoint is not None:
+                    checkpoint.record_ok(sid, result, attempts)
+            else:
+                outcome.failed[sid] = error
+                if checkpoint is not None:
+                    checkpoint.record_failed(sid, error, attempts)
+                if attempts >= max_attempts:
+                    del pending[sid]
+    return outcome
+
+
+def _attempt_inline(shard_fn, payload) -> tuple[dict | None, str | None]:
+    try:
+        return shard_fn(payload), None
+    except Exception:
+        return None, traceback.format_exc(limit=8)
+
+
+def _run_round(
+    shard_fn, payloads, round_ids, workers
+) -> Iterator[tuple[int, dict | None, str | None]]:
+    """One submission round, yielding each outcome as it resolves.
+
+    Outcomes are yielded shard-by-shard (completion order when pooled)
+    rather than collected, so the caller can checkpoint each result
+    the moment it exists — a killed run keeps every shard that
+    finished before the kill, not just completed rounds.
+
+    The executor lives for exactly one round: if a worker dies and
+    breaks the pool, every future of the round resolves (some with
+    ``BrokenProcessPool``), the broken executor is discarded, and the
+    next round starts clean.
+    """
+    if workers <= 1:
+        for sid in round_ids:
+            yield (sid, *_attempt_inline(shard_fn, payloads[sid]))
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(shard_fn, payloads[sid]): sid for sid in round_ids}
+        for future in as_completed(futures):
+            sid = futures[future]
+            try:
+                yield sid, future.result(), None
+            except Exception as exc:
+                yield sid, None, f"{type(exc).__name__}: {exc}"

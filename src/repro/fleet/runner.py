@@ -1,0 +1,81 @@
+"""The programmatic fleet entry point.
+
+``FleetRunner`` ties the layers together: bind the plan to a run
+directory (manifest + resume), execute the shards on the pool, merge
+shard results into the deterministic aggregate, persist it, and hand
+back a :class:`FleetReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.fleet.aggregate import aggregate_records, canonical_json
+from repro.fleet.checkpoint import Checkpoint
+from repro.fleet.metrics import FleetReport
+from repro.fleet.planner import FleetPlan
+from repro.fleet.pool import execute_plan
+from repro.fleet.worker import run_shard
+
+
+class FleetRunner:
+    """Run a :class:`FleetPlan` across a worker pool, resumably.
+
+    Parameters
+    ----------
+    plan:
+        The sharded sweep to execute.
+    workers:
+        Pool size; ``<= 1`` runs inline in this process.
+    retries:
+        Extra attempts per shard after its first failure.
+    out_dir:
+        Run directory for the manifest / shard checkpoint / aggregate;
+        ``None`` keeps everything in memory (no resume).
+    shard_fn:
+        Override for tests; must accept/return JSON-safe dicts and be
+        picklable when ``workers > 1``.
+    """
+
+    def __init__(
+        self,
+        plan: FleetPlan,
+        workers: int = 1,
+        retries: int = 2,
+        out_dir: str | None = None,
+        shard_fn: Callable[[dict], dict] = run_shard,
+    ) -> None:
+        self.plan = plan
+        self.workers = workers
+        self.retries = retries
+        self.checkpoint = Checkpoint(out_dir) if out_dir is not None else None
+        self.shard_fn = shard_fn
+
+    def run(self) -> FleetReport:
+        started = time.perf_counter()
+        outcome = execute_plan(
+            self.plan,
+            workers=self.workers,
+            retries=self.retries,
+            checkpoint=self.checkpoint,
+            shard_fn=self.shard_fn,
+        )
+        wall = time.perf_counter() - started
+
+        shard_results = outcome.sorted_results()
+        records = [task for shard in shard_results for task in shard["tasks"]]
+        learning = [shard.get("learning", {}) for shard in shard_results]
+        aggregate = aggregate_records(records, learning)
+
+        if self.checkpoint is not None:
+            self.checkpoint.write_aggregate(canonical_json(aggregate))
+
+        return FleetReport(
+            aggregate=aggregate,
+            records=records,
+            failed_shards=dict(outcome.failed),
+            executed_shards=outcome.executed,
+            skipped_shards=outcome.skipped,
+            wall_seconds=wall,
+        )

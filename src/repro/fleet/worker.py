@@ -1,0 +1,62 @@
+"""Shard execution: one fresh ``Testbed`` per task.
+
+``run_shard`` is the unit the process pool ships to workers; it takes
+and returns plain JSON-safe dicts so it pickles cheaply and its output
+can be appended verbatim to the checkpoint JSONL. Each task builds its
+own simulator seeded from the task spec, so results depend only on the
+spec — never on which worker ran it or in what order.
+"""
+
+from __future__ import annotations
+
+from repro.core.online_learning import merge_records
+from repro.device.android import AndroidTimers
+from repro.fleet.planner import Shard, TaskSpec
+from repro.testbed.harness import HandlingMode, run_one
+from repro.testbed.scenarios import scenario_by_name
+
+
+def _timers_from_spec(spec: dict | None) -> AndroidTimers | None:
+    if spec is None:
+        return None
+    kwargs = dict(spec)
+    if "ladder" in kwargs:
+        kwargs["ladder"] = tuple(kwargs["ladder"])  # JSON turns it into a list
+    return AndroidTimers(**kwargs)
+
+
+def run_task(task: TaskSpec) -> tuple[dict, dict]:
+    """Run one task; returns (record, wire-form learning state)."""
+    scenario = scenario_by_name(task.scenario)
+    result, testbed = run_one(
+        scenario,
+        HandlingMode(task.handling),
+        seed=task.seed,
+        android_timers=_timers_from_spec(task.android_timers),
+        horizon=task.horizon,
+    )
+    record = {
+        "task_id": task.task_id,
+        "scenario": task.scenario,
+        "handling": task.handling,
+        "seed": task.seed,
+        "failure_class": scenario.failure_class.value,
+        "duration": result.duration,
+        "recovered": result.recovered,
+        "timed": result.timed,
+        "notified_user": result.notified_user,
+        "handled": result.timed and result.recovered,
+    }
+    return record, testbed.learning_records()
+
+
+def run_shard(payload: dict) -> dict:
+    """Execute one shard (as produced by ``Shard.to_json``)."""
+    shard = Shard.from_json(payload)
+    records = []
+    learning: dict[str, dict[str, int]] = {}
+    for task in shard.tasks:
+        record, task_learning = run_task(task)
+        records.append(record)
+        merge_records(learning, task_learning)
+    return {"shard_id": shard.shard_id, "tasks": records, "learning": learning}

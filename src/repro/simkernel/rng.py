@@ -13,6 +13,19 @@ import hashlib
 import random
 
 
+def derive_seed(master_seed: int, *key: object) -> int:
+    """Derive a child master seed from ``master_seed`` and a key path.
+
+    Used by the fleet runner to give every shard/task its own stream
+    family: ``derive_seed(master, scenario, mode, replica)`` depends
+    only on its inputs, never on scheduling order or process identity,
+    so sharded sweeps stay reproducible at any worker count.
+    """
+    material = ":".join([str(master_seed), *(str(part) for part in key)])
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RngStreams:
     """A lazily-created family of independent ``random.Random`` streams."""
 

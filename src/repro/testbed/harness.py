@@ -227,6 +227,52 @@ class Testbed:
         """Did handling succeed without user intervention (coverage)?"""
         return result.timed and result.recovered
 
+    def learning_records(self) -> dict[str, dict[str, int]]:
+        """Wire-form §5.3 learning state accumulated during this run.
+
+        Combines the core plugin's crowdsourced ``NetRecord`` with any
+        SIM record-book entries still awaiting OTA upload, so a fleet
+        aggregator merging per-shard states loses nothing to upload
+        timing. Empty for legacy runs (no SEED deployed).
+        """
+        from repro.core.online_learning import merge_records, serialize_records
+
+        wire: dict[str, dict[str, int]] = {}
+        if self.deployment is None:
+            return wire
+        merge_records(wire, self.deployment.plugin.learner.export_records())
+        for applet in self.deployment.applets.values():
+            merge_records(wire, serialize_records(applet.recorder.records))
+        return wire
+
+
+def pick_scenario(failure_class: FailureClass, seed: int) -> Scenario:
+    """The suite's weighted scenario draw for one run seed.
+
+    Kept as a standalone function so that ``run_suite`` and the fleet
+    planner (which expands the same suite into shards ahead of time)
+    agree on the draw for every ``(failure_class, seed)`` pair.
+    """
+    mix = mix_for(failure_class)
+    weights = [s.weight for s in mix]
+    picker = Simulator(seed=seed).rng
+    return picker.weighted_choice("suite.pick", list(mix), weights)
+
+
+def run_one(
+    scenario: Scenario,
+    handling: HandlingMode,
+    seed: int,
+    android_timers: AndroidTimers | None = None,
+    learning_rate: float = 0.05,
+    horizon: float | None = None,
+) -> tuple[RunResult, Testbed]:
+    """Run one scenario on a fresh testbed; returns result + testbed."""
+    testbed = Testbed(seed=seed, handling=handling,
+                      android_timers=android_timers, learning_rate=learning_rate)
+    result = testbed.run_scenario(scenario, horizon=horizon)
+    return result, testbed
+
 
 def run_suite(
     failure_class: FailureClass,
@@ -236,12 +282,9 @@ def run_suite(
     android_timers: AndroidTimers | None = None,
 ) -> list[RunResult]:
     """Replay the class's scenario mix over ``runs`` independent runs."""
-    mix = mix_for(failure_class)
-    weights = [s.weight for s in mix]
     results = []
     for index in range(runs):
-        picker = Simulator(seed=seed + index).rng
-        scenario = picker.weighted_choice("suite.pick", list(mix), weights)
+        scenario = pick_scenario(failure_class, seed + index)
         testbed = Testbed(seed=seed + index, handling=handling,
                           android_timers=android_timers)
         results.append(testbed.run_scenario(scenario))

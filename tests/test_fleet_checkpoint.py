@@ -1,0 +1,158 @@
+"""Checkpoint/resume/retry behaviour of the fleet pool.
+
+These tests drive ``execute_plan`` with synthetic shard functions (no
+testbeds), so they cover the orchestration contract in isolation:
+manifest binding, resume-after-kill (including a torn JSONL tail from
+a mid-write kill), and the retry-then-give-up path.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.checkpoint import Checkpoint, CheckpointMismatch
+from repro.fleet.planner import plan_matrix
+from repro.fleet.pool import execute_plan
+from repro.testbed.harness import HandlingMode
+
+
+def small_plan(replicas=4, shard_size=2):
+    return plan_matrix(scenario_patterns=["cp_timeout_transient"],
+                       modes=[HandlingMode.LEGACY], replicas=replicas,
+                       master_seed=11, shard_size=shard_size)
+
+
+def fake_shard_fn(payload):
+    """Shard result without running testbeds (orchestration tests)."""
+    return {
+        "shard_id": payload["shard_id"],
+        "tasks": [{
+            "task_id": t["task_id"], "scenario": t["scenario"],
+            "handling": t["handling"], "seed": t["seed"],
+            "failure_class": "control_plane", "duration": float(t["task_id"]),
+            "recovered": True, "timed": True, "notified_user": False,
+            "handled": True,
+        } for t in payload["tasks"]],
+        "learning": {},
+    }
+
+
+class TestManifest:
+    def test_bind_then_rebind_same_plan(self, tmp_path):
+        plan = small_plan()
+        checkpoint = Checkpoint(tmp_path)
+        checkpoint.bind(plan)
+        checkpoint.bind(plan)  # idempotent
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["fingerprint"] == plan.fingerprint()
+        assert manifest["tasks"] == len(plan.tasks)
+
+    def test_mismatched_plan_refused(self, tmp_path):
+        checkpoint = Checkpoint(tmp_path)
+        checkpoint.bind(small_plan(replicas=4))
+        with pytest.raises(CheckpointMismatch):
+            checkpoint.bind(small_plan(replicas=6))
+
+
+class TestResume:
+    def test_completed_shards_skipped(self, tmp_path):
+        plan = small_plan(replicas=6, shard_size=2)  # 3 shards
+        calls = []
+
+        def counting(payload):
+            calls.append(payload["shard_id"])
+            return fake_shard_fn(payload)
+
+        first = execute_plan(plan, checkpoint=Checkpoint(tmp_path), shard_fn=counting)
+        assert first.executed == 3 and first.skipped == 0
+        calls.clear()
+        second = execute_plan(plan, checkpoint=Checkpoint(tmp_path), shard_fn=counting)
+        assert calls == []  # nothing re-ran
+        assert second.executed == 0 and second.skipped == 3
+        assert second.sorted_results() == first.sorted_results()
+
+    def test_crashed_shard_rerun(self, tmp_path):
+        """A shard that died (failed line, no ok line) re-runs on resume."""
+        plan = small_plan(replicas=6, shard_size=2)
+
+        def dies_on_one(payload):
+            if payload["shard_id"] == 1:
+                raise RuntimeError("simulated worker crash")
+            return fake_shard_fn(payload)
+
+        first = execute_plan(plan, retries=0, checkpoint=Checkpoint(tmp_path),
+                             shard_fn=dies_on_one)
+        assert set(first.failed) == {1}
+
+        calls = []
+
+        def recovered(payload):
+            calls.append(payload["shard_id"])
+            return fake_shard_fn(payload)
+
+        second = execute_plan(plan, retries=0, checkpoint=Checkpoint(tmp_path),
+                              shard_fn=recovered)
+        assert calls == [1]  # only the crashed shard
+        assert not second.failed
+        assert sorted(second.results) == [0, 1, 2]
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        """A kill mid-append leaves a torn JSONL tail; the shard re-runs."""
+        plan = small_plan(replicas=4, shard_size=2)  # 2 shards
+        checkpoint = Checkpoint(tmp_path)
+        execute_plan(plan, checkpoint=checkpoint, shard_fn=fake_shard_fn)
+
+        lines = (tmp_path / "shards.jsonl").read_text().splitlines()
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        (tmp_path / "shards.jsonl").write_text(torn)
+
+        calls = []
+
+        def counting(payload):
+            calls.append(payload["shard_id"])
+            return fake_shard_fn(payload)
+
+        outcome = execute_plan(plan, checkpoint=Checkpoint(tmp_path),
+                               shard_fn=counting)
+        assert len(calls) == 1  # only the torn shard re-ran
+        assert sorted(outcome.results) == [0, 1]
+
+
+class TestRetries:
+    def test_retry_then_recover(self, tmp_path):
+        plan = small_plan(replicas=2, shard_size=2)  # 1 shard
+        attempts = {"n": 0}
+
+        def flaky(payload):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("flaky")
+            return fake_shard_fn(payload)
+
+        outcome = execute_plan(plan, retries=2, checkpoint=Checkpoint(tmp_path),
+                               shard_fn=flaky)
+        assert attempts["n"] == 3
+        assert not outcome.failed and 0 in outcome.results
+        entries = [json.loads(l) for l in
+                   (tmp_path / "shards.jsonl").read_text().splitlines()]
+        assert [e["status"] for e in entries] == ["failed", "failed", "ok"]
+        assert entries[-1]["attempts"] == 3
+
+    def test_retry_then_give_up(self, tmp_path):
+        plan = small_plan(replicas=4, shard_size=2)  # 2 shards
+
+        def always_fails_first(payload):
+            if payload["shard_id"] == 0:
+                raise RuntimeError("permanent failure")
+            return fake_shard_fn(payload)
+
+        outcome = execute_plan(plan, retries=2, checkpoint=Checkpoint(tmp_path),
+                               shard_fn=always_fails_first)
+        assert set(outcome.failed) == {0}
+        assert "permanent failure" in outcome.failed[0]
+        assert sorted(outcome.results) == [1]  # the healthy shard completed
+        failed_lines = [json.loads(l) for l in
+                        (tmp_path / "shards.jsonl").read_text().splitlines()
+                        if json.loads(l)["status"] == "failed"]
+        assert len(failed_lines) == 3  # 1 + retries attempts, then gave up
+        assert Checkpoint(tmp_path).failures().keys() == {0}

@@ -1,0 +1,155 @@
+"""End-to-end fleet runs: determinism, suite parity, learning merge, CLI.
+
+The determinism guarantee under test: a fleet run with one master seed
+produces a byte-identical ``aggregate.json`` regardless of worker
+count and shard order (satellite requirement of the fleet subsystem).
+"""
+
+from repro.core.online_learning import (
+    InfraLearner,
+    deserialize_records,
+    merge_records,
+    serialize_records,
+)
+from repro.core.reset import ResetAction
+from repro.experiments import table4
+from repro.fleet import FleetPlan, FleetRunner, canonical_json, suite_tasks
+from repro.fleet.cli import main as fleet_main
+from repro.fleet.planner import plan_matrix, shard_tasks
+from repro.infra.failures import FailureClass
+from repro.testbed.harness import HandlingMode, run_suite, timed_durations
+
+
+def fast_plan(shard_size=2):
+    """A cheap real plan: two quick scenarios, three modes, two seeds."""
+    return plan_matrix(
+        scenario_patterns=["cp_timeout_transient", "dp_transient"],
+        modes=[HandlingMode.LEGACY, HandlingMode.SEED_U, HandlingMode.SEED_R],
+        replicas=2, master_seed=77, shard_size=shard_size,
+    )
+
+
+class TestDeterminism:
+    def test_worker_count_and_shard_order_invariant(self, tmp_path):
+        plan = fast_plan()
+        report_one = FleetRunner(plan, workers=1, out_dir=str(tmp_path / "w1")).run()
+        report_two = FleetRunner(plan, workers=2, out_dir=str(tmp_path / "w2")).run()
+
+        reversed_plan = FleetPlan(master_seed=plan.master_seed,
+                                  shards=tuple(reversed(plan.shards)))
+        report_rev = FleetRunner(reversed_plan, workers=1,
+                                 out_dir=str(tmp_path / "rev")).run()
+
+        blob_one = (tmp_path / "w1" / "aggregate.json").read_bytes()
+        blob_two = (tmp_path / "w2" / "aggregate.json").read_bytes()
+        blob_rev = (tmp_path / "rev" / "aggregate.json").read_bytes()
+        assert blob_one == blob_two == blob_rev
+        assert blob_one == canonical_json(report_one.aggregate).encode()
+        assert report_two.complete and report_rev.complete
+
+    def test_rerun_reproduces_bytes(self, tmp_path):
+        plan = fast_plan()
+        FleetRunner(plan, workers=1, out_dir=str(tmp_path / "a")).run()
+        FleetRunner(plan, workers=1, out_dir=str(tmp_path / "b")).run()
+        assert ((tmp_path / "a" / "aggregate.json").read_bytes()
+                == (tmp_path / "b" / "aggregate.json").read_bytes())
+
+
+class TestSuiteParity:
+    """The sequential paper path is the fleet's correctness oracle."""
+
+    def test_control_plane_suite_exact(self):
+        runs, seed = 6, 1000
+        sequential = run_suite(FailureClass.CONTROL_PLANE, HandlingMode.SEED_R,
+                               runs=runs, seed=seed)
+        plan = FleetPlan(master_seed=seed, shards=shard_tasks(
+            suite_tasks(FailureClass.CONTROL_PLANE, HandlingMode.SEED_R,
+                        runs=runs, seed=seed), shard_size=2))
+        report = FleetRunner(plan, workers=1).run()
+        assert report.durations(FailureClass.CONTROL_PLANE, HandlingMode.SEED_R) \
+            == timed_durations(sequential)
+
+    def test_table4_cells_exact_small(self):
+        runs, seed = 2, 4200
+        sequential = table4.run(runs=runs, seed=seed)
+        fleet = table4.run_fleet(runs=runs, seed=seed, workers=2)
+        for key, cell in sequential.cells.items():
+            other = fleet.cells[key]
+            assert (cell.median, cell.p90, cell.samples) \
+                == (other.median, other.p90, other.samples), key
+
+
+class TestLearningMerge:
+    def test_wire_roundtrip(self):
+        records = {200: {ResetAction.B3_DPLANE_RESET: 3,
+                         ResetAction.A1_PROFILE_RELOAD: 1},
+                   205: {ResetAction.B1_MODEM_RESET: 2}}
+        assert deserialize_records(serialize_records(records)) == records
+
+    def test_merged_state_equals_sequential_state(self):
+        shard_wires = [
+            serialize_records({200: {ResetAction.B3_DPLANE_RESET: 2}}),
+            serialize_records({200: {ResetAction.B3_DPLANE_RESET: 1,
+                                     ResetAction.B1_MODEM_RESET: 4}}),
+            serialize_records({203: {ResetAction.A2_CPLANE_CONFIG_UPDATE: 5}}),
+        ]
+        sequential = InfraLearner()
+        for wire in shard_wires:
+            sequential.absorb(wire)
+
+        merged_wire = {}
+        for wire in reversed(shard_wires):  # order must not matter
+            merge_records(merged_wire, wire)
+        merged = InfraLearner()
+        merged.absorb(merged_wire)
+
+        assert merged.net_record == sequential.net_record
+        assert merged.export_records() == sequential.export_records()
+        for cause in (200, 203):
+            assert merged.best_action(cause) == sequential.best_action(cause)
+            assert merged.confidence(cause) == sequential.confidence(cause)
+
+
+class TestReportAccessors:
+    def test_cells_and_coverage(self):
+        report = FleetRunner(fast_plan(), workers=1).run()
+        cell = report.cell(FailureClass.DATA_PLANE, HandlingMode.SEED_R)
+        assert cell.samples == 2 and cell.median >= 0.0
+        coverage = report.coverage(FailureClass.CONTROL_PLANE, HandlingMode.SEED_R)
+        assert 0.0 <= coverage <= 1.0
+        assert report.scenarios_per_sec > 0
+
+
+class TestCli:
+    def test_matrix_run_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        code = fleet_main([
+            "--scenario", "cp_timeout_transient", "--modes", "seed_r",
+            "--replicas", "2", "--workers", "1", "--seed", "5",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert (out / "manifest.json").exists()
+        assert (out / "shards.jsonl").exists()
+        assert (out / "aggregate.json").exists()
+        assert "scenarios/sec" in capsys.readouterr().out
+
+    def test_rerun_resumes(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        args = ["--scenario", "dp_transient", "--modes", "seed_u",
+                "--replicas", "2", "--workers", "1", "--seed", "5",
+                "--out", str(out)]
+        assert fleet_main(args) == 0
+        lines_before = (out / "shards.jsonl").read_text().splitlines()
+        capsys.readouterr()
+        assert fleet_main(args) == 0
+        assert "resumed" in capsys.readouterr().out
+        assert (out / "shards.jsonl").read_text().splitlines() == lines_before
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        try:
+            fleet_main(["--modes", "bogus", "--out", str(tmp_path / "x")])
+        except SystemExit as exc:
+            assert "bogus" in str(exc)
+        else:
+            raise AssertionError("expected SystemExit")
