@@ -117,7 +117,7 @@ class SeedApplet(Applet):
             "mm": {code: info.name for code, info in MM_CAUSES.items()},
             "sm": {code: info.name for code, info in SM_CAUSES.items()},
         }
-        self.persist("causes", json.dumps(registry).encode())
+        self.persist("causes", json.dumps(registry, sort_keys=True).encode())
         self.persist("records", b"{}")
 
     def bind(self, usim: UsimApplet, app_channel: Callable[[dict], None] | None) -> None:
@@ -354,7 +354,9 @@ class SeedApplet(Applet):
             updates["s_nssai_sst"] = int(config["sst"])
         if "dnn" in config:
             updates["default_dnn"] = config["dnn"]
-            updates["dnn_list"] = tuple({*profile.dnn_list, config["dnn"]})
+            # Ordered dedup: set iteration order is hash-dependent and
+            # this tuple is persisted into the profile (seedlint DET003).
+            updates["dnn_list"] = tuple(dict.fromkeys((*profile.dnn_list, config["dnn"])))
         if updates:
             self.usim.set_profile(profile.with_updates(**updates))
             self.usim.profile.to_files(self._runtime.fs)
@@ -397,7 +399,8 @@ class SeedApplet(Applet):
             self.recorder.record_success(self._ol_cause, action)
             self.persist("records", json.dumps(
                 {str(c): {a.name: n for a, n in acts.items()}
-                 for c, acts in self.recorder.records.items()}
+                 for c, acts in self.recorder.records.items()},
+                sort_keys=True,
             ).encode())
             self._ol_cause = None
             self._ol_queue = []

@@ -78,7 +78,10 @@ class DiagnosisInfo:
                 min(255, int(self.backoff_seconds * 10)),
             ]
         )
-        config_blob = json.dumps(self.config, separators=(",", ":")).encode() if self.config else b""
+        config_blob = (
+            json.dumps(self.config, separators=(",", ":"), sort_keys=True).encode()
+            if self.config else b""
+        )
         if len(config_blob) > 255:
             raise CollaborationError("config payload too large for assistance info")
         return header + bytes([len(config_blob)]) + config_blob

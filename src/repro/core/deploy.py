@@ -91,7 +91,7 @@ def _make_ota_flush(device: Device, applet: SeedApplet, plugin: SeedCorePlugin):
             return False
         # Serialise/deserialise across the OTA boundary so nothing
         # object-shaped sneaks through the channel.
-        wire = json.dumps(serialize_records(records))
+        wire = json.dumps(serialize_records(records), sort_keys=True)
         plugin.receive_sim_records(deserialize_records(json.loads(wire)))
         return True
 

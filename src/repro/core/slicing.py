@@ -62,8 +62,10 @@ class SliceManager:
         additional slices are established alongside it.
         """
         record = self.core.subscriber_db.by_supi(self.device.supi)
+        # Ordered dedup — set iteration order is hash-dependent and the
+        # subscriber record outlives this call (seedlint DET003).
         record.subscribed_dnns = tuple(
-            {*record.subscribed_dnns, *(s.dnn for s in self.slices)}
+            dict.fromkeys((*record.subscribed_dnns, *(s.dnn for s in self.slices)))
         )
         for descriptor in self.slices:
             if descriptor.psi == 1:

@@ -15,6 +15,8 @@ and operator constant OP (stored as OPc). AKA mutual authentication
 
 from __future__ import annotations
 
+import hmac
+
 from repro.crypto.aes import AES128
 
 
@@ -128,4 +130,4 @@ class Milenage:
         sqn = _xor(autn[:6], ak)
         amf = autn[6:8]
         mac_a = autn[8:16]
-        return mac_a == self.f1(rand, sqn, amf), sqn
+        return hmac.compare_digest(mac_a, self.f1(rand, sqn, amf)), sqn

@@ -9,6 +9,8 @@ mac`` and ``open`` verifies and decrypts, rejecting stale counters.
 
 from __future__ import annotations
 
+import hmac
+
 from repro.crypto.cmac import eia2_mac
 from repro.crypto.modes import eea2_decrypt, eea2_encrypt
 
@@ -71,7 +73,7 @@ class SecureChannel:
         ciphertext = blob[4:-4]
         mac = blob[-4:]
         expected = eia2_mac(self.key, count, self.bearer, self.direction, ciphertext)
-        if mac != expected:
+        if not hmac.compare_digest(mac, expected):
             raise IntegrityError("MAC mismatch on diagnosis payload")
         if count <= self._recv_counter:
             raise ReplayError(f"stale counter {count} (last {self._recv_counter})")

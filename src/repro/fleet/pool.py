@@ -17,6 +17,7 @@ the work.
 
 from __future__ import annotations
 
+import logging
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -25,6 +26,8 @@ from typing import Callable, Iterator
 from repro.fleet.checkpoint import Checkpoint
 from repro.fleet.planner import FleetPlan
 from repro.fleet.worker import run_shard
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -73,18 +76,25 @@ def execute_plan(
                     checkpoint.record_ok(sid, result, attempts)
             else:
                 outcome.failed[sid] = error
+                log.warning(
+                    "shard %d failed (attempt %d/%d): %s",
+                    sid, attempts, max_attempts, error.strip().splitlines()[-1],
+                )
                 if checkpoint is not None:
                     checkpoint.record_failed(sid, error, attempts)
                 if attempts >= max_attempts:
                     del pending[sid]
+                    log.error("shard %d dropped after %d attempts", sid, attempts)
     return outcome
 
 
 def _attempt_inline(shard_fn, payload) -> tuple[dict | None, str | None]:
     try:
         return shard_fn(payload), None
-    except Exception:
-        return None, traceback.format_exc(limit=8)
+    except Exception as exc:
+        # Keep the concrete error type in the recorded failure so the
+        # shard result names what went wrong, not just a traceback tail.
+        return None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=8)}"
 
 
 def _run_round(

@@ -1,0 +1,43 @@
+"""seedlint — AST static analysis for the SEED reproduction tree.
+
+The repo's two hardest guarantees are byte-identical fleet aggregates
+at any worker count and faithful coverage of the paper's 80+
+standardized cause codes (§4.3.1). Both are easy to break with one
+stray wall-clock read, global-``random`` draw, or unregistered cause —
+and runtime tests only sample a few seeds. seedlint enforces the
+invariants statically, over the whole tree, on every run:
+
+* **DET** — determinism: no wall-clock/entropy reads or global
+  ``random`` use in the simulation paths (randomness flows through
+  :class:`repro.simkernel.rng.RngStreams` / ``derive_seed``), no
+  hash-order-dependent set iteration or unsorted JSON serialization
+  feeding the deterministic aggregate surface;
+* **PROTO** — protocol completeness, checked cross-table: every cause
+  registered in ``nas/causes.py`` reachable from the on-card applet
+  registry, every NAS message class round-trip-registered in the
+  codec, every Table 3 reset primitive handled by the decision logic;
+* **SAFE** — fleet/crypto safety: no bare or swallowed exception
+  handlers, no variable-time MAC/digest comparison, no unpicklable
+  lambdas handed to the process pool.
+
+Run ``python -m repro.lint src/`` (or the ``seedlint`` entry point).
+Suppress a finding with ``# seedlint: disable=RULE`` on the flagged
+line. See :mod:`repro.lint.registry` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Project, lint_paths, scan_paths
+from repro.lint.finding import Finding
+from repro.lint.registry import RULES, Rule, all_rules, rule
+
+__all__ = [
+    "Finding",
+    "Project",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "rule",
+    "scan_paths",
+]

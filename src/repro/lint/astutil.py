@@ -1,0 +1,71 @@
+"""Small AST helpers shared by the rule families."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else.
+
+    Only pure Name/Attribute chains resolve — ``obj().attr`` or
+    subscripted chains return None, which is what the rules want: a
+    chain rooted in a call result is not a module-level reference.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call target, e.g. ``time.time`` or ``json.dumps``."""
+    return dotted_name(node.func)
+
+
+def identifier_tokens(name: str) -> set[str]:
+    """Lower-cased underscore-split tokens of an identifier."""
+    return {token for token in name.lower().split("_") if token}
+
+
+def terminal_identifier(node: ast.AST) -> str | None:
+    """The final identifier of a Name/Attribute expression, if any."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def keyword_arg(node: ast.Call, name: str) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def is_set_expr(node: ast.AST) -> bool:
+    """Set display, set comprehension, or a bare ``set(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def enum_member_names(class_node: ast.ClassDef) -> list[str]:
+    """Names assigned at class level (enum members / class constants)."""
+    names: list[str] = []
+    for statement in class_node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names.append(target.id)
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.value is not None:
+                names.append(statement.target.id)
+    return names

@@ -1,0 +1,91 @@
+"""The ``python -m repro.lint`` / ``seedlint`` command line.
+
+Exit codes: 0 — tree is clean; 1 — findings (or unparseable files);
+2 — usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import run_rules, scan_paths
+from repro.lint.registry import all_rules
+from repro.lint.reporters import render_json, render_text
+
+
+def _default_paths() -> list[str]:
+    """Lint ``src/`` when run from a checkout, else the working tree."""
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="seedlint",
+        description="AST static analysis enforcing the SEED reproduction's "
+        "determinism (DET), protocol-completeness (PROTO), and "
+        "fleet-safety (SAFE) invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src/)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids/prefixes to run (e.g. DET,SAFE003)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids/prefixes to skip",
+    )
+    parser.add_argument(
+        "--no-scope", action="store_true",
+        help="apply every rule to every file, ignoring per-path scoping",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _match_prefixes(rule_id: str, spec: str) -> bool:
+    return any(
+        rule_id == token or rule_id.startswith(token)
+        for token in (part.strip().upper() for part in spec.split(","))
+        if token
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+
+    if args.list_rules:
+        for lint_rule in rules:
+            scope = ",".join(lint_rule.scope) if lint_rule.scope else "*"
+            kind = "project" if lint_rule.project else "file"
+            print(f"{lint_rule.rule_id}  [{kind}; scope: {scope}]")
+            print(f"    {lint_rule.summary}")
+        return 0
+
+    if args.select:
+        rules = [r for r in rules if _match_prefixes(r.rule_id, args.select)]
+    if args.ignore:
+        rules = [r for r in rules if not _match_prefixes(r.rule_id, args.ignore)]
+
+    modules = scan_paths(args.paths or _default_paths())
+    findings = run_rules(modules, rules, enforce_scope=not args.no_scope)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_checked=len(modules)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

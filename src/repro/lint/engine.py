@@ -1,0 +1,191 @@
+"""File scanning, suppression handling, and rule execution.
+
+``scan_paths`` walks the given files/directories, parses every ``*.py``
+into a :class:`Module` (source + AST + suppression table), and
+``lint_paths`` runs the registered rules over them:
+
+* per-file rules run on each module whose ``scope_key`` (package
+  subpath under ``repro/``) matches the rule's scope;
+* project rules run once against the whole :class:`Project` — they
+  look modules up by path suffix (``nas/causes.py`` etc.) and skip
+  silently when the tree under analysis does not contain their
+  subject modules, so linting a subtree stays useful.
+
+Suppressions: a ``# seedlint: disable=RULE`` (comma-separated list, or
+``all``) comment suppresses matching findings on its own line; the
+same comment on the first line of a file suppresses the whole file.
+Findings are returned sorted by (path, line, rule) so reports are
+byte-stable run to run — the linter holds itself to the invariant it
+enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule
+
+_SUPPRESS_RE = re.compile(r"#\s*seedlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class Module:
+    """One parsed source file under analysis."""
+
+    path: str                       # display path (as scanned)
+    scope_key: str                  # package subpath, e.g. "core/applet.py"
+    source: str
+    tree: ast.AST | None            # None when the file failed to parse
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    parse_error: str | None = None
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        for scope_line in (line, 0):  # 0 = file-level suppression
+            rules = self.suppressions.get(scope_line)
+            if rules is not None and ("all" in rules or rule_id in rules):
+                return True
+        return False
+
+
+@dataclass
+class Project:
+    """The full set of modules a lint run covers (for cross-file rules)."""
+
+    modules: list[Module]
+
+    def find(self, suffix: str) -> Module | None:
+        """The module whose path ends with ``suffix`` (posix form)."""
+        for module in self.modules:
+            if module.scope_key == suffix or module.scope_key.endswith("/" + suffix):
+                return module
+            if module.path.replace("\\", "/").endswith(suffix):
+                return module
+        return None
+
+
+def _scope_key(path: Path, root: Path) -> str:
+    """Package subpath used for rule scoping.
+
+    Paths inside a ``repro`` package are keyed below the (innermost)
+    ``repro`` component, so ``src/repro/core/applet.py`` and an
+    installed ``.../site-packages/repro/core/applet.py`` both key as
+    ``core/applet.py``. Files outside any ``repro`` directory (fixture
+    corpora) are keyed relative to the scanned root.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.name
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        table[lineno] = rules
+        if lineno == 1:
+            table[0] = rules  # first-line comment covers the whole file
+    return table
+
+
+def load_module(path: Path, root: Path) -> Module:
+    source = path.read_text(encoding="utf-8")
+    tree: ast.AST | None = None
+    parse_error: str | None = None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        parse_error = f"syntax error: {exc.msg} (line {exc.lineno})"
+    return Module(
+        path=str(path),
+        scope_key=_scope_key(path, root),
+        source=source,
+        tree=tree,
+        suppressions=_parse_suppressions(source),
+        parse_error=parse_error,
+    )
+
+
+def scan_paths(paths: Sequence[str | Path]) -> list[Module]:
+    """Collect and parse every ``*.py`` file under ``paths``."""
+    modules: list[Module] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            files = sorted(p for p in base.rglob("*.py") if p.is_file())
+            root = base
+        else:
+            files = [base]
+            root = base.parent
+        for file in files:
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            modules.append(load_module(file, root))
+    return modules
+
+
+def run_rules(
+    modules: list[Module],
+    rules: Iterable[Rule],
+    enforce_scope: bool = True,
+) -> list[Finding]:
+    """Apply ``rules`` to ``modules`` and return the surviving findings."""
+    findings: list[Finding] = []
+    project = Project(modules)
+    for module in modules:
+        if module.parse_error is not None:
+            findings.append(
+                Finding(module.path, 1, 0, "PARSE", module.parse_error)
+            )
+    for lint_rule in rules:
+        if lint_rule.project:
+            findings.extend(lint_rule.check(project))
+            continue
+        for module in modules:
+            if module.tree is None:
+                continue
+            if enforce_scope and not lint_rule.applies_to(module.scope_key):
+                continue
+            findings.extend(lint_rule.check(module))
+
+    by_path = {module.path: module for module in modules}
+    kept = [
+        finding
+        for finding in findings
+        if finding.rule == "PARSE"
+        or finding.path not in by_path
+        or not by_path[finding.path].suppressed(finding.line, finding.rule)
+    ]
+    return sorted(set(kept))
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule] | None = None,
+    enforce_scope: bool = True,
+) -> list[Finding]:
+    """Scan ``paths`` and run ``rules`` (default: every registered rule)."""
+    from repro.lint.registry import all_rules
+
+    return run_rules(
+        scan_paths(paths),
+        list(rules) if rules is not None else all_rules(),
+        enforce_scope=enforce_scope,
+    )

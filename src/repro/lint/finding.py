@@ -1,0 +1,28 @@
+"""The unit of seedlint output: one violation at one location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, sortable into a stable report order."""
+
+    path: str       # display path of the offending file
+    line: int       # 1-based line number
+    col: int        # 0-based column offset
+    rule: str       # rule identifier, e.g. "DET001"
+    message: str    # human explanation, names the offending construct
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,72 @@
+"""Rule registry and the ``@rule`` registration decorator.
+
+A rule is a checker function plus metadata:
+
+* ``rule_id`` — stable identifier (``DET001``, ``PROTO002``, ...);
+* ``summary`` — one-line description for ``--list-rules``;
+* ``scope`` — package subpaths (relative to the ``repro`` package
+  root) the rule applies to; empty means the whole tree. Scoping is
+  how e.g. the determinism rules bind to ``simkernel``/``core``/
+  ``fleet``/``nas`` without flagging experiment scripts;
+* ``project`` — per-file rules receive one :class:`Module` at a time;
+  project rules receive the whole :class:`Project` and perform
+  cross-file checks (the PROTO completeness family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+RuleCheck = Callable[[object], Iterable["object"]]
+
+#: Global registry, id -> Rule. Populated by importing the rule modules.
+RULES: dict[str, "Rule"] = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    rule_id: str
+    summary: str
+    check: RuleCheck
+    scope: tuple[str, ...] = ()     # () = every scanned file
+    project: bool = False           # True = cross-file rule
+
+    def applies_to(self, scope_key: str) -> bool:
+        """Whether a file with package subpath ``scope_key`` is in scope."""
+        if not self.scope:
+            return True
+        return any(
+            scope_key == prefix or scope_key.startswith(prefix + "/")
+            for prefix in self.scope
+        )
+
+
+def rule(
+    rule_id: str,
+    summary: str,
+    scope: tuple[str, ...] = (),
+    project: bool = False,
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Register ``check`` under ``rule_id``; returns it unchanged."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(
+            rule_id=rule_id, summary=summary, check=check,
+            scope=tuple(scope), project=project,
+        )
+        return check
+
+    return register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, importing the built-in families first."""
+    # Deferred import so registry.py itself stays import-cycle free.
+    from repro.lint import rules  # noqa: F401  (registration side effect)
+
+    return [RULES[rule_id] for rule_id in sorted(RULES)]

@@ -1,0 +1,29 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.finding import Finding
+
+
+def render_text(findings: list[Finding], files_checked: int) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"seedlint: {len(findings)} {noun} in {files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_checked: int) -> str:
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    payload = {
+        "files_checked": files_checked,
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+        "by_rule": by_rule,
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)

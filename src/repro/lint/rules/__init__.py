@@ -1,0 +1,7 @@
+"""Built-in rule families. Importing this package registers them."""
+
+from __future__ import annotations
+
+from repro.lint.rules import det, proto, safe  # noqa: F401
+
+__all__ = ["det", "proto", "safe"]

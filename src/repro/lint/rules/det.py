@@ -1,0 +1,183 @@
+"""DET — determinism rules.
+
+The fleet's headline guarantee (PR 1) is a byte-identical
+``aggregate.json`` at any worker count; the simulation paths therefore
+must not read wall clocks or OS entropy, must route all randomness
+through :class:`repro.simkernel.rng.RngStreams` / ``derive_seed``, and
+must not let hash-order (set iteration, unsorted JSON) reach any
+serialized output. Monotonic timers (``time.perf_counter``) stay legal:
+they are telemetry, and never feed the deterministic surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import call_name, is_set_expr, keyword_arg
+from repro.lint.engine import Module
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+#: Paths of the determinism contract (ISSUE: simkernel/core/fleet/nas);
+#: ``traces`` joined once the corpus generator moved onto explicit rngs.
+DET_SCOPE = ("simkernel", "core", "fleet", "nas")
+DET_RNG_SCOPE = DET_SCOPE + ("traces",)
+DET_ORDER_SCOPE = ("core", "fleet")
+
+# Wall-clock / entropy reads that make reruns diverge. Matched as
+# dotted-name suffixes so both ``datetime.now`` and
+# ``datetime.datetime.now`` resolve.
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "uuid.uuid1": "clock/MAC-derived identifier",
+    "uuid.uuid4": "OS entropy read",
+    "secrets.token_bytes": "OS entropy read",
+    "secrets.token_hex": "OS entropy read",
+    "secrets.randbits": "OS entropy read",
+}
+
+# Module-level functions of ``random`` that draw from the shared global
+# stream. ``random.Random(seed)`` instantiation is explicitly allowed —
+# that *is* the deterministic idiom RngStreams builds on.
+_GLOBAL_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+}
+
+# Consumers that freeze a set's (hash-dependent) iteration order into
+# an ordered value. ``sorted`` is the sanctioned escape hatch.
+_ORDER_FREEZERS = {"tuple", "list", "enumerate", "iter", "next"}
+
+
+def _match_banned(dotted: str) -> str | None:
+    for banned, why in _BANNED_CALLS.items():
+        if dotted == banned or dotted.endswith("." + banned):
+            return why
+    return None
+
+
+@rule(
+    "DET001",
+    "no wall-clock or OS-entropy reads in simulation paths "
+    "(time.time/datetime.now/os.urandom/uuid4/...)",
+    scope=DET_SCOPE,
+)
+def det001_wall_clock(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = call_name(node)
+        if dotted is None:
+            continue
+        why = _match_banned(dotted)
+        if why is not None:
+            yield Finding(
+                module.path, node.lineno, node.col_offset, "DET001",
+                f"call to {dotted}() is a {why}; inject a clock or derive "
+                f"entropy via simkernel.rng.derive_seed",
+            )
+
+
+@rule(
+    "DET002",
+    "no global random-module draws; randomness flows through "
+    "RngStreams/derive_seed or an explicit random.Random instance",
+    scope=DET_RNG_SCOPE,
+)
+def det002_global_random(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            dotted = call_name(node)
+            if dotted is not None and "." in dotted:
+                head, _, fn = dotted.rpartition(".")
+                if head == "random" and fn in _GLOBAL_RANDOM_FNS:
+                    yield Finding(
+                        module.path, node.lineno, node.col_offset, "DET002",
+                        f"{dotted}() draws from the process-global random "
+                        f"stream; use RngStreams or a seeded random.Random",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RANDOM_FNS:
+                        yield Finding(
+                            module.path, node.lineno, node.col_offset, "DET002",
+                            f"'from random import {alias.name}' imports a "
+                            f"global-stream draw; import Random and seed it",
+                        )
+
+
+def _set_order_findings(module: Module, node: ast.AST, what: str) -> Finding:
+    return Finding(
+        module.path, node.lineno, node.col_offset, "DET003",
+        f"{what} freezes hash-dependent set order into serialized state; "
+        f"wrap in sorted(...) or preserve insertion order",
+    )
+
+
+@rule(
+    "DET003",
+    "no hash-order-dependent set iteration feeding ordered/serialized "
+    "state (wrap in sorted or keep insertion order)",
+    scope=DET_ORDER_SCOPE,
+)
+def det003_set_order(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and is_set_expr(node.iter):
+            yield _set_order_findings(module, node.iter, "iterating a set")
+        elif isinstance(node, ast.comprehension) and is_set_expr(node.iter):
+            yield _set_order_findings(
+                module, node.iter, "comprehension over a set"
+            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_FREEZERS
+                and node.args
+                and is_set_expr(node.args[0])
+            ):
+                yield _set_order_findings(
+                    module, node, f"{func.id}() over a set"
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and node.args
+                and is_set_expr(node.args[0])
+            ):
+                yield _set_order_findings(module, node, "str.join over a set")
+
+
+@rule(
+    "DET004",
+    "json.dumps/json.dump on the deterministic surface must pass "
+    "sort_keys=True",
+    scope=DET_ORDER_SCOPE,
+)
+def det004_unsorted_json(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = call_name(node)
+        if dotted not in ("json.dumps", "json.dump"):
+            continue
+        sort_keys = keyword_arg(node, "sort_keys")
+        if not (
+            isinstance(sort_keys, ast.Constant) and sort_keys.value is True
+        ):
+            yield Finding(
+                module.path, node.lineno, node.col_offset, "DET004",
+                f"{dotted}() without sort_keys=True serializes dict "
+                f"insertion order; the aggregate surface must be key-sorted",
+            )

@@ -1,0 +1,173 @@
+"""SAFE — fleet and crypto safety rules.
+
+The fleet pool must never lose a shard silently, the secure channel
+must never compare MACs with data-dependent timing, and nothing
+unpicklable may be handed to the process pool (it surfaces as an
+opaque ``BrokenProcessPool`` rounds later, not at the call site).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import identifier_tokens, terminal_identifier
+from repro.lint.engine import Module
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+#: Identifier tokens that mark an authentication-tag comparison.
+_SECRET_TOKENS = {"mac", "macs", "digest", "digests", "hmac", "cmac"}
+
+#: Method names that count as "the failure was recorded".
+_LOG_METHODS = {"debug", "info", "warning", "warn", "error", "exception", "critical"}
+
+SAFE_CRYPTO_SCOPE = ("crypto", "sim_card", "core")
+
+
+@rule("SAFE001", "no bare 'except:' handlers")
+def safe001_bare_except(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                module.path, node.lineno, node.col_offset, "SAFE001",
+                "bare 'except:' swallows SystemExit/KeyboardInterrupt too; "
+                "catch the narrowest exception that can actually occur",
+            )
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    def is_broad(node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
+
+    if handler.type is None:
+        return False  # SAFE001's case
+    if is_broad(handler.type):
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(is_broad(element) for element in handler.type.elts)
+    return False
+
+
+def _handler_records_failure(handler: ast.ExceptHandler) -> bool:
+    """Re-raises, references the bound exception, formats the traceback,
+    or calls a logger — anything that keeps the failure observable."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            handler.name is not None
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+        ):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            if isinstance(func.value, ast.Name):
+                owner = func.value.id.lower()
+                if owner == "traceback" and func.attr.startswith("format"):
+                    return True
+                if func.attr in _LOG_METHODS and (
+                    "log" in owner or owner == "logging"
+                ):
+                    return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("print",):  # stderr diagnostics still record
+                return True
+    return False
+
+
+@rule(
+    "SAFE002",
+    "'except Exception' must re-raise, log, or record the failure — "
+    "never swallow it",
+)
+def safe002_swallowed_exception(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _catches_broad(node):
+            continue
+        if not _handler_records_failure(node):
+            yield Finding(
+                module.path, node.lineno, node.col_offset, "SAFE002",
+                "broad exception handler drops the failure; re-raise it, "
+                "log it, or record it on the result",
+            )
+
+
+def _names_secret(node: ast.expr) -> bool:
+    name = terminal_identifier(node)
+    if name is None:
+        return False
+    return bool(identifier_tokens(name) & _SECRET_TOKENS)
+
+
+@rule(
+    "SAFE003",
+    "MAC/digest equality must use hmac.compare_digest, not ==/!= "
+    "(variable-time comparison leaks via timing)",
+    scope=SAFE_CRYPTO_SCOPE,
+)
+def safe003_mac_compare(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        if any(_names_secret(operand) for operand in operands):
+            yield Finding(
+                module.path, node.lineno, node.col_offset, "SAFE003",
+                "==/!= on a MAC/digest is not constant-time; use "
+                "hmac.compare_digest",
+            )
+
+
+def _is_unpicklable_callable(node: ast.expr, local_defs: set[str]) -> str | None:
+    if isinstance(node, ast.Lambda):
+        return "lambda"
+    if isinstance(node, ast.Name) and node.id in local_defs:
+        return f"locally-defined function '{node.id}'"
+    return None
+
+
+def _local_function_defs(tree: ast.AST) -> set[str]:
+    """Functions defined inside another function (closures — unpicklable)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(child.name)
+    return names
+
+
+@rule(
+    "SAFE004",
+    "no lambdas/closures handed to the process pool (they do not "
+    "pickle; the pool breaks rounds later)",
+)
+def safe004_unpicklable_to_pool(module: Module) -> Iterator[Finding]:
+    local_defs = _local_function_defs(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        is_submit = (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("submit", "map", "apply_async")
+        )
+        candidates: list[tuple[ast.expr, str]] = []
+        if is_submit and node.args:
+            candidates.append((node.args[0], node.func.attr))
+        for keyword in node.keywords:
+            if keyword.arg == "shard_fn":
+                candidates.append((keyword.value, "shard_fn"))
+        for candidate, where in candidates:
+            what = _is_unpicklable_callable(candidate, local_defs)
+            if what is not None:
+                yield Finding(
+                    module.path, node.lineno, node.col_offset, "SAFE004",
+                    f"{what} passed to {where} cannot pickle across the "
+                    f"process pool; use a module-level function",
+                )

@@ -15,8 +15,8 @@ Targets reproduced (all §3.1 / Table 1 / Figure 2 quantities):
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
+from random import Random
 
 from repro.traces.records import Corpus, ProcedureRecord, ProcedureKind, TraceMeta
 
@@ -89,11 +89,19 @@ class CorpusConfig:
 
 
 class TraceGenerator:
-    """Draws a :class:`Corpus` matching the configured statistics."""
+    """Draws a :class:`Corpus` matching the configured statistics.
 
-    def __init__(self, config: CorpusConfig | None = None) -> None:
+    All randomness flows through one explicit, seeded stream — either
+    the ``rng`` threaded in by the caller (e.g. a
+    :meth:`repro.simkernel.rng.RngStreams.stream`) or a ``Random``
+    seeded from the config. Never the process-global ``random`` module:
+    a fixed seed must reproduce the corpus byte-for-byte.
+    """
+
+    def __init__(self, config: CorpusConfig | None = None,
+                 rng: Random | None = None) -> None:
         self.config = config or CorpusConfig()
-        self._rng = random.Random(self.config.seed)
+        self._rng = rng if rng is not None else Random(self.config.seed)
 
     # ------------------------------------------------------------------
     def generate(self) -> Corpus:

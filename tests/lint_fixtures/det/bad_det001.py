@@ -1,0 +1,12 @@
+"""Fixture: DET001 — wall-clock read inside a simulation path."""
+
+import os
+import time
+
+
+def stamp_event() -> float:
+    return time.time()
+
+
+def fresh_nonce() -> bytes:
+    return os.urandom(16)

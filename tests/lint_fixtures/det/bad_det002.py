@@ -1,0 +1,11 @@
+"""Fixture: DET002 — draws from the process-global random stream."""
+
+import random
+from random import shuffle
+
+
+def draw(options):
+    pick = random.choice(options)
+    jitter = random.uniform(0.0, 1.0)
+    shuffle(options)
+    return pick, jitter

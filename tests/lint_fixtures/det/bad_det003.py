@@ -1,0 +1,8 @@
+"""Fixture: DET003 — hash-order set iteration frozen into ordered state."""
+
+
+def freeze(values):
+    ordered = tuple({"a", "b", *values})
+    for item in set(values):
+        ordered += (item,)
+    return ordered

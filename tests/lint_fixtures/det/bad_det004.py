@@ -1,0 +1,7 @@
+"""Fixture: DET004 — serialization without key sorting."""
+
+import json
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, separators=(",", ":"))

@@ -1,0 +1,13 @@
+"""Fixture: DET001-clean — clock injected; monotonic timing is telemetry."""
+
+import time
+
+
+def stamp_event(clock) -> float:
+    return clock()
+
+
+def measure(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

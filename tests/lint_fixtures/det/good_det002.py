@@ -1,0 +1,13 @@
+"""Fixture: DET002-clean — explicit seeded streams only."""
+
+from random import Random
+
+
+def make_stream(seed: int) -> Random:
+    return Random(seed)
+
+
+def draw(rng: Random, options):
+    pick = rng.choice(options)
+    jitter = rng.uniform(0.0, 1.0)
+    return pick, jitter

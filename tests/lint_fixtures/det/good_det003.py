@@ -1,0 +1,8 @@
+"""Fixture: DET003-clean — sets are sorted before their order escapes."""
+
+
+def freeze(values):
+    ordered = tuple(sorted({"a", "b", *values}))
+    for item in sorted(set(values)):
+        ordered += (item,)
+    return ordered

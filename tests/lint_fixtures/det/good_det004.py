@@ -1,0 +1,7 @@
+"""Fixture: DET004-clean — byte-stable rendering."""
+
+import json
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,7 @@
+"""Fixture: an acknowledged violation, suppressed inline."""
+
+import time
+
+
+def stamp_event() -> float:
+    return time.time()  # seedlint: disable=DET001

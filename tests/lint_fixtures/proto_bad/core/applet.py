@@ -1,0 +1,10 @@
+"""Fixture applet whose hand-rolled registry drops causes (PROTO001)."""
+
+
+class SeedApplet:
+    def on_install(self):
+        registry = {
+            "mm": {3: "Illegal UE"},                    # missing 7
+            "sm": {8: "Operator determined barring"},   # missing 27
+        }
+        self.persist("causes", registry)

@@ -1,0 +1,7 @@
+"""Fixture decision logic (parsed only)."""
+
+
+def decide(rooted):
+    if rooted:
+        return ResetAction.B1_MODEM_RESET
+    return ResetAction.A1_PROFILE_RELOAD

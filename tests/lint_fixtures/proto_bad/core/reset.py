@@ -1,0 +1,9 @@
+"""Fixture reset ladder with an unreachable primitive (PROTO003)."""
+
+import enum
+
+
+class ResetAction(enum.Enum):
+    A1_PROFILE_RELOAD = 1
+    B1_MODEM_RESET = 2
+    B9_UNHANDLED_PRIMITIVE = 3  # never referenced by decision.py

@@ -1,0 +1,24 @@
+"""Fixture cause registry seeding PROTO001 (with applet.py) + PROTO004."""
+
+
+def _mm(code, name):
+    return (code, name, "mm")
+
+
+def _sm(code, name):
+    return (code, name, "sm")
+
+
+_MM_LIST = [
+    _mm(3, "Illegal UE"),
+    _mm(7, "5GS services not allowed"),
+    _mm(3, "Illegal UE, registered twice"),  # duplicate -> PROTO004
+]
+
+_SM_LIST = [
+    _sm(8, "Operator determined barring"),
+    _sm(27, "Missing or unknown DNN"),
+]
+
+MM_CAUSES = {entry[0]: entry for entry in _MM_LIST}
+SM_CAUSES = {entry[0]: entry for entry in _SM_LIST}

@@ -1,0 +1,19 @@
+"""Fixture codec missing RegistrationReject on both directions (PROTO002).
+
+Parsed only, never imported — unresolved names are intentional.
+"""
+
+
+def _encode_body(msg):
+    if isinstance(msg, RegistrationRequest):
+        return b"req"
+    raise ValueError("no encoder")
+
+
+def _decode_registration_request(fields):
+    return fields
+
+
+_DECODERS = {
+    MessageType.REGISTRATION_REQUEST: _decode_registration_request,
+}

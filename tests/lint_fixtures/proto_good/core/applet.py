@@ -1,0 +1,10 @@
+"""Fixture applet carrying the full registries (parsed only)."""
+
+
+class SeedApplet:
+    def on_install(self):
+        registry = {
+            "mm": {code: info for code, info in MM_CAUSES.items()},
+            "sm": {code: info for code, info in SM_CAUSES.items()},
+        }
+        self.persist("causes", registry)

@@ -1,0 +1,8 @@
+"""Fixture reset ladder — every primitive reachable from decision.py."""
+
+import enum
+
+
+class ResetAction(enum.Enum):
+    A1_PROFILE_RELOAD = 1
+    B1_MODEM_RESET = 2

@@ -1,0 +1,23 @@
+"""Fixture codec with complete round-trip registration (parsed only)."""
+
+
+def _encode_body(msg):
+    if isinstance(msg, RegistrationRequest):
+        return b"req"
+    if isinstance(msg, RegistrationReject):
+        return b"rej"
+    raise ValueError("no encoder")
+
+
+def _decode_registration_request(fields):
+    return fields
+
+
+def _decode_registration_reject(fields):
+    return fields
+
+
+_DECODERS = {
+    MessageType.REGISTRATION_REQUEST: _decode_registration_request,
+    MessageType.REGISTRATION_REJECT: _decode_registration_reject,
+}

@@ -1,0 +1,20 @@
+"""Fixture NAS messages — both round-trip-registered in codec.py."""
+
+
+class MessageType:
+    REGISTRATION_REQUEST = 0x41
+    REGISTRATION_REJECT = 0x44
+
+
+class NasMessage:
+    MESSAGE_TYPE = 0
+
+
+class RegistrationRequest(NasMessage):
+    def __post_init__(self):
+        self.MESSAGE_TYPE = MessageType.REGISTRATION_REQUEST
+
+
+class RegistrationReject(NasMessage):
+    def __post_init__(self):
+        self.MESSAGE_TYPE = MessageType.REGISTRATION_REJECT

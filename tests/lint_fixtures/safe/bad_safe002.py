@@ -1,0 +1,8 @@
+"""Fixture: SAFE002 — broad handler that drops the failure."""
+
+
+def run(fn):
+    try:
+        return fn()
+    except Exception:
+        pass

@@ -1,0 +1,7 @@
+"""Fixture: SAFE003 — variable-time MAC comparison."""
+
+
+def verify(mac: bytes, expected_mac: bytes) -> bool:
+    if mac != expected_mac:
+        return False
+    return True

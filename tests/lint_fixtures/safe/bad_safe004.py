@@ -1,0 +1,9 @@
+"""Fixture: SAFE004 — unpicklable callables handed to the pool."""
+
+
+def run_all(pool, payloads):
+    return [pool.submit(lambda p: p, payload) for payload in payloads]
+
+
+def run_plan(execute_plan, plan):
+    return execute_plan(plan, shard_fn=lambda payload: payload)

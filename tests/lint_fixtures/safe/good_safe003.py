@@ -1,0 +1,7 @@
+"""Fixture: SAFE003-clean — constant-time MAC comparison."""
+
+import hmac
+
+
+def verify(mac: bytes, expected_mac: bytes) -> bool:
+    return hmac.compare_digest(mac, expected_mac)

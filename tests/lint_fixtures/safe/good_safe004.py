@@ -1,0 +1,13 @@
+"""Fixture: SAFE004-clean — module-level function crosses the pool."""
+
+
+def shard(payload):
+    return payload
+
+
+def run_all(pool, payloads):
+    return [pool.submit(shard, payload) for payload in payloads]
+
+
+def run_plan(execute_plan, plan):
+    return execute_plan(plan, shard_fn=shard)

@@ -1,0 +1,65 @@
+"""Tier-1 guard: the live tree must stay seedlint-clean.
+
+This is the mechanical enforcement of the determinism /
+protocol-completeness / fleet-safety invariants: any stray wall-clock
+read, global-random draw, dropped cause code, or swallowed exception
+introduced anywhere under ``src/`` fails this test with the rule id
+and file:line of the offence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths
+from repro.lint.cli import main
+
+SRC_TREE = Path(repro.__file__).resolve().parent
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+class TestLiveTreeClean:
+    def test_zero_findings_on_src(self):
+        findings = lint_paths([SRC_TREE])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_exits_zero_on_src(self, capsys):
+        assert main([str(SRC_TREE)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+
+class TestCliContract:
+    def test_nonzero_exit_names_rule_and_location(self, capsys):
+        code = main([str(FIXTURES / "safe" / "bad_safe001.py"), "--no-scope"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SAFE001" in out
+        assert "bad_safe001.py:" in out  # file:line anchor
+
+    def test_json_report_shape(self, capsys):
+        code = main([
+            str(FIXTURES / "safe" / "bad_safe002.py"), "--no-scope",
+            "--format", "json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["count"] == len(payload["findings"]) > 0
+        assert payload["by_rule"].get("SAFE002") == 1
+        finding = payload["findings"][0]
+        assert {"path", "line", "col", "rule", "message"} <= set(finding)
+
+    def test_select_and_ignore_filter_rules(self, capsys):
+        target = str(FIXTURES / "det" / "bad_det002.py")
+        assert main([target, "--no-scope", "--select", "SAFE"]) == 0
+        capsys.readouterr()
+        assert main([target, "--no-scope", "--ignore", "DET"]) == 0
+        capsys.readouterr()
+        assert main([target, "--no-scope", "--select", "DET002"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("DET001", "PROTO001", "SAFE001"):
+            assert family in out

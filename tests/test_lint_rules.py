@@ -1,0 +1,117 @@
+"""seedlint rule-family tests against the fixture corpus.
+
+Every rule must catch its seeded bad snippet and stay quiet on the
+good twin; the PROTO cross-file rules run over miniature module trees
+mirroring the real package layout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.engine import scan_paths
+from repro.lint.registry import all_rules
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+PER_FILE_RULES = (
+    "DET001", "DET002", "DET003", "DET004",
+    "SAFE001", "SAFE002", "SAFE003", "SAFE004",
+)
+PROTO_RULES = ("PROTO001", "PROTO002", "PROTO003", "PROTO004")
+
+
+def rules_found(path: Path, enforce_scope: bool = False) -> set[str]:
+    return {f.rule for f in lint_paths([path], enforce_scope=enforce_scope)}
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("rule_id", PER_FILE_RULES)
+    def test_bad_snippet_caught(self, rule_id):
+        family = rule_id[:-3].lower()
+        path = FIXTURES / family / f"bad_{rule_id.lower()}.py"
+        assert rule_id in rules_found(path)
+
+    @pytest.mark.parametrize("rule_id", PER_FILE_RULES)
+    def test_good_snippet_clean(self, rule_id):
+        family = rule_id[:-3].lower()
+        path = FIXTURES / family / f"good_{rule_id.lower()}.py"
+        assert rule_id not in rules_found(path)
+
+    @pytest.mark.parametrize("rule_id", PROTO_RULES)
+    def test_proto_bad_tree_caught(self, rule_id):
+        assert rule_id in rules_found(FIXTURES / "proto_bad")
+
+    def test_proto_good_tree_clean(self):
+        assert rules_found(FIXTURES / "proto_good") == set()
+
+    def test_proto_bad_counts(self):
+        findings = lint_paths([FIXTURES / "proto_bad"], enforce_scope=False)
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        # Both planes drop a cause; the reject misses encoder AND decoder.
+        assert by_rule["PROTO001"] == 2
+        assert by_rule["PROTO002"] == 2
+        assert by_rule["PROTO003"] == 1
+        assert by_rule["PROTO004"] == 1
+
+
+class TestFindingAnchors:
+    def test_finding_names_rule_file_and_line(self):
+        findings = lint_paths([FIXTURES / "det" / "bad_det001.py"],
+                              enforce_scope=False)
+        det001 = [f for f in findings if f.rule == "DET001"]
+        assert det001, findings
+        rendered = det001[0].render()
+        assert "bad_det001.py:8:" in rendered  # the time.time() call line
+        assert "DET001" in rendered
+        assert "time.time" in rendered
+
+    def test_proto_missing_causes_are_named(self):
+        findings = lint_paths([FIXTURES / "proto_bad"], enforce_scope=False)
+        messages = [f.message for f in findings if f.rule == "PROTO001"]
+        assert any("[7]" in m for m in messages)
+        assert any("[27]" in m for m in messages)
+
+
+class TestSuppression:
+    def test_inline_disable_comment_suppresses(self):
+        path = FIXTURES / "det" / "suppressed_det001.py"
+        assert "DET001" not in rules_found(path)
+
+    def test_unsuppressed_twin_still_fires(self):
+        # Same construct, no comment — the suppression is what differs.
+        assert "DET001" in rules_found(FIXTURES / "det" / "bad_det001.py")
+
+
+class TestScoping:
+    def test_det_rules_bind_to_simulation_paths_only(self):
+        # Outside simkernel/core/fleet/nas the determinism contract
+        # does not apply; under --no-scope it does.
+        path = FIXTURES / "det" / "bad_det001.py"
+        assert "DET001" not in rules_found(path, enforce_scope=True)
+        assert "DET001" in rules_found(path, enforce_scope=False)
+
+    def test_fixture_tree_mirroring_layout_is_in_scope(self):
+        # proto_bad mirrors nas/ and core/, so scoped per-file rules
+        # apply there even with scoping enforced.
+        modules = scan_paths([FIXTURES / "proto_bad"])
+        keys = {module.scope_key for module in modules}
+        assert "nas/causes.py" in keys and "core/applet.py" in keys
+
+
+class TestRegistry:
+    def test_rule_catalogue_is_complete(self):
+        ids = {rule.rule_id for rule in all_rules()}
+        assert set(PER_FILE_RULES) <= ids
+        assert set(PROTO_RULES) <= ids
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_paths([bad], enforce_scope=False)
+        assert [f.rule for f in findings] == ["PARSE"]
