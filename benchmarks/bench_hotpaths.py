@@ -1,0 +1,241 @@
+"""Hot-path micro-benchmarks → ``BENCH_hotpaths.json``.
+
+Measures the four layers the fleet's scenario rate is built from —
+crypto kernels (AES block / CTR / CMAC / Milenage AKA), the NAS codec,
+simkernel event dispatch, and the end-to-end scenario rate — and writes
+the rates to ``BENCH_hotpaths.json`` at the repo root so every future
+PR has a perf trajectory to regress against.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py           # full
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick   # CI smoke
+
+Regression gate (CI perf-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick \
+        --check BENCH_hotpaths.json --tolerance 0.30
+
+``--check`` compares each measured rate against the committed baseline
+and exits non-zero when any metric regressed by more than the
+tolerance. Rates well above baseline never fail: only slowdowns gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.crypto import AES128, Milenage, aes_cmac, eea2_encrypt  # noqa: E402
+from repro.nas import codec  # noqa: E402
+from repro.nas.messages import (  # noqa: E402
+    AuthenticationRequest,
+    PduSessionEstablishmentRequest,
+    RegistrationReject,
+    RegistrationRequest,
+)
+from repro.simkernel.simulator import Simulator  # noqa: E402
+from repro.testbed.harness import HandlingMode, run_one  # noqa: E402
+from repro.testbed.scenarios import ALL_SCENARIOS  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_hotpaths.json"
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+K = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+OP = bytes.fromhex("cdc202d5123e20f62b6d676ac72cb318")
+RAND = bytes.fromhex("23553cbe9637a89d218ae64dae47bf35")
+SQN = bytes.fromhex("ff9bb4d0b607")
+
+NAS_CORPUS = [
+    RegistrationRequest(
+        supi="imsi-001010123456789", requested_plmn="00101",
+        tracking_area=7, capabilities=("5gc", "volte"), requested_sst=1,
+    ),
+    RegistrationReject(cause=9, t3502_seconds=720.0),
+    AuthenticationRequest(rand=RAND, autn=bytes(16), ngksi=3),
+    PduSessionEstablishmentRequest(
+        pdu_session_id=5, dnn="internet", pdu_session_type="IPv4",
+        s_nssai_sst=1,
+    ),
+]
+
+
+def _timed(fn, n: int) -> dict:
+    """Run ``fn`` ``n`` times; return rate metadata."""
+    started = time.perf_counter()
+    for _ in range(n):
+        fn()
+    seconds = time.perf_counter() - started
+    return {"n": n, "seconds": round(seconds, 4),
+            "rate": round(n / seconds, 2) if seconds else float("inf")}
+
+
+def bench_aes_block(quick: bool) -> dict:
+    cipher = AES128(KEY)
+    block = bytes(range(16))
+    result = _timed(lambda: cipher.encrypt_block(block), 2_000 if quick else 20_000)
+    result["unit"] = "blocks/s"
+    return result
+
+
+def bench_aes_ctr(quick: bool) -> dict:
+    payload = bytes(256)  # two SEED fragments' worth of stream per call
+    n = 500 if quick else 5_000
+    result = _timed(lambda: eea2_encrypt(KEY, 7, 3, 1, payload), n)
+    result["rate"] = round(result["rate"] * len(payload), 2)  # bytes/s
+    result["unit"] = "bytes/s"
+    return result
+
+
+def bench_cmac(quick: bool) -> dict:
+    message = bytes(64)
+    n = 500 if quick else 5_000
+    result = _timed(lambda: aes_cmac(KEY, message), n)
+    result["rate"] = round(result["rate"] * len(message), 2)
+    result["unit"] = "bytes/s"
+    return result
+
+
+def bench_milenage_aka(quick: bool) -> dict:
+    mil = Milenage(K, op=OP)
+
+    def one_aka() -> None:
+        autn = mil.generate_autn(RAND, SQN)
+        mil.verify_autn(RAND, autn)
+        mil.f2(RAND), mil.f3(RAND), mil.f4(RAND)
+
+    result = _timed(one_aka, 300 if quick else 3_000)
+    result["unit"] = "aka/s"
+    return result
+
+
+def bench_nas_encode(quick: bool) -> dict:
+    n = 2_000 if quick else 20_000
+
+    def encode_corpus() -> None:
+        for msg in NAS_CORPUS:
+            codec.encode(msg)
+
+    result = _timed(encode_corpus, n)
+    result["rate"] = round(result["rate"] * len(NAS_CORPUS), 2)
+    result["unit"] = "msgs/s"
+    return result
+
+
+def bench_nas_decode(quick: bool) -> dict:
+    wires = [codec.encode(msg) for msg in NAS_CORPUS]
+    n = 2_000 if quick else 20_000
+
+    def decode_corpus() -> None:
+        for wire in wires:
+            codec.decode(wire)
+
+    result = _timed(decode_corpus, n)
+    result["rate"] = round(result["rate"] * len(wires), 2)
+    result["unit"] = "msgs/s"
+    return result
+
+
+def bench_simkernel_dispatch(quick: bool) -> dict:
+    events = 20_000 if quick else 200_000
+
+    def drain() -> None:
+        sim = Simulator()
+        callback = (lambda: None)
+        for index in range(events):
+            sim.schedule(index * 1e-6, callback)
+        sim.run_until_idle()
+
+    started = time.perf_counter()
+    drain()
+    seconds = time.perf_counter() - started
+    return {"n": events, "seconds": round(seconds, 4),
+            "rate": round(events / seconds, 2), "unit": "events/s"}
+
+
+def bench_scenario_rate(quick: bool) -> dict:
+    scenarios = ALL_SCENARIOS[:3] if quick else ALL_SCENARIOS
+    runs = 1 if quick else 2
+    started = time.perf_counter()
+    count = 0
+    for replica in range(runs):
+        for scenario in scenarios:
+            run_one(scenario, HandlingMode.SEED_R, seed=replica)
+            count += 1
+    seconds = time.perf_counter() - started
+    return {"n": count, "seconds": round(seconds, 4),
+            "rate": round(count / seconds, 2), "unit": "scenarios/s"}
+
+
+BENCHES = {
+    "aes_block": bench_aes_block,
+    "aes_ctr": bench_aes_ctr,
+    "cmac": bench_cmac,
+    "milenage_aka": bench_milenage_aka,
+    "nas_encode": bench_nas_encode,
+    "nas_decode": bench_nas_decode,
+    "simkernel_dispatch": bench_simkernel_dispatch,
+    "scenario_rate": bench_scenario_rate,
+}
+
+
+def run_benches(quick: bool) -> dict:
+    metrics = {}
+    for name, bench in BENCHES.items():
+        metrics[name] = bench(quick)
+        print(f"{name:>20}: {metrics[name]['rate']:>14,.0f} {metrics[name]['unit']}")
+    return {"quick": quick, "metrics": metrics}
+
+
+def check_regression(report: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, measured in report["metrics"].items():
+        base = baseline.get("metrics", {}).get(name)
+        if base is None or not base.get("rate"):
+            continue
+        ratio = measured["rate"] / base["rate"]
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+        print(f"{name:>20}: {ratio:6.2f}x baseline  [{status}]")
+        if ratio < 1.0 - tolerance:
+            failures.append((name, ratio))
+    if failures:
+        print(f"\nperf regression: {len(failures)} metric(s) below "
+              f"{1.0 - tolerance:.0%} of baseline: "
+              + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures))
+        return 1
+    print("\nperf smoke ok: no metric regressed beyond tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a baseline JSON instead of "
+                             "overwriting it; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional slowdown vs baseline "
+                             "(default 0.30)")
+    parser.add_argument("--out", default=str(BENCH_PATH),
+                        help="output path for the measured rates")
+    args = parser.parse_args(argv)
+
+    report = run_benches(quick=args.quick)
+    if args.check is not None:
+        return check_regression(report, Path(args.check), args.tolerance)
+    Path(args.out).write_text(
+        json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,54 +3,61 @@
 128-EIA2 (TS 33.401 B.2.3) computes AES-CMAC over the message prefixed
 with an 8-byte header of COUNT | BEARER | DIRECTION and returns the
 32-bit truncation.
+
+The K1/K2 subkeys depend only on the key, so they are memoized per key
+bytes — every ``seal``/``open`` on a SEED channel re-derives them
+otherwise. The CBC-MAC chain XORs blocks as 128-bit integers and keeps
+the state as an int between block encryptions.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.crypto.aes import AES128
 
 _BLOCK = 16
 _RB = 0x87  # x^128 + x^7 + x^2 + x + 1 feedback constant
+_MASK_128 = (1 << 128) - 1
 
 
-def _left_shift_one(block: bytes) -> bytes:
-    value = int.from_bytes(block, "big") << 1
-    shifted = value & ((1 << 128) - 1)
-    if value >> 128:
+def _left_shift_one(value: int) -> int:
+    shifted = (value << 1) & _MASK_128
+    if value >> 127:
         shifted ^= _RB
-    return shifted.to_bytes(16, "big")
+    return shifted
 
 
-def _generate_subkeys(cipher: AES128) -> tuple[bytes, bytes]:
-    l_value = cipher.encrypt_block(bytes(16))
+@lru_cache(maxsize=512)
+def _subkeys(key: bytes) -> tuple[int, int]:
+    """RFC 4493 K1/K2 as 128-bit ints, memoized per key bytes."""
+    l_value = int.from_bytes(AES128(key).encrypt_block(bytes(16)), "big")
     k1 = _left_shift_one(l_value)
     k2 = _left_shift_one(k1)
     return k1, k2
 
 
-def _xor(a: bytes, b: bytes) -> bytes:
-    return bytes(x ^ y for x, y in zip(a, b))
-
-
 def aes_cmac(key: bytes, message: bytes) -> bytes:
     """Full 16-byte AES-CMAC tag of ``message``."""
     cipher = AES128(key)
-    k1, k2 = _generate_subkeys(cipher)
+    k1, k2 = _subkeys(cipher.key)
 
     n_blocks = max(1, (len(message) + _BLOCK - 1) // _BLOCK)
     complete_final = len(message) > 0 and len(message) % _BLOCK == 0
 
     if complete_final:
-        final = _xor(message[-_BLOCK:], k1)
+        final = int.from_bytes(message[-_BLOCK:], "big") ^ k1
     else:
-        remainder = message[(n_blocks - 1) * _BLOCK :]
+        remainder = message[(n_blocks - 1) * _BLOCK:]
         padded = remainder + b"\x80" + bytes(_BLOCK - len(remainder) - 1)
-        final = _xor(padded, k2)
+        final = int.from_bytes(padded, "big") ^ k2
 
-    state = bytes(16)
+    encrypt = cipher.encrypt_block
+    state = 0
     for i in range(n_blocks - 1):
-        state = cipher.encrypt_block(_xor(state, message[i * _BLOCK : (i + 1) * _BLOCK]))
-    return cipher.encrypt_block(_xor(state, final))
+        block = int.from_bytes(message[i * _BLOCK: (i + 1) * _BLOCK], "big")
+        state = int.from_bytes(encrypt((state ^ block).to_bytes(16, "big")), "big")
+    return encrypt((state ^ final).to_bytes(16, "big"))
 
 
 def eia2_mac(key: bytes, count: int, bearer: int, direction: int, message: bytes) -> bytes:

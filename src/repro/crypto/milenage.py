@@ -11,42 +11,85 @@ and operator constant OP (stored as OPc). AKA mutual authentication
 * f4  — integrity key IK
 * f5  — anonymity key AK (masks SQN in AUTN)
 * f5* — resynchronisation anonymity key
+
+Every output function is a pure function of (K, OPc, RAND[, SQN, AMF]),
+so the shared intermediate blocks are memoized per those bytes: one AKA
+round calls f1/f2/f3/f4/f5 against the same RAND, and without the cache
+each call re-runs the whole OUT-block derivation (~9 AES encryptions
+per authentication instead of ~5 cached).
 """
 
 from __future__ import annotations
 
 import hmac
+from functools import lru_cache
 
 from repro.crypto.aes import AES128
 
+# Rotation/constant parameters from TS 35.206 §4.1 (default values).
+_R = (64, 0, 32, 64, 96)
+_C = (
+    bytes(16),
+    bytes(15) + b"\x01",
+    bytes(15) + b"\x02",
+    bytes(15) + b"\x04",
+    bytes(15) + b"\x08",
+)
+
+_MASK_128 = (1 << 128) - 1
+
 
 def _xor(a: bytes, b: bytes) -> bytes:
-    return bytes(x ^ y for x, y in zip(a, b))
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big")
 
 
 def _rotate(block: bytes, bits: int) -> bytes:
     """Left-rotate a 128-bit block by ``bits`` (multiple of 8 in spec use)."""
+    if bits == 0:
+        return block
     value = int.from_bytes(block, "big")
-    rotated = ((value << bits) | (value >> (128 - bits))) & ((1 << 128) - 1)
+    rotated = ((value << bits) | (value >> (128 - bits))) & _MASK_128
     return rotated.to_bytes(16, "big")
+
+
+@lru_cache(maxsize=1024)
+def _derive_opc(k: bytes, op: bytes) -> bytes:
+    """OPc = E_K(OP) xor OP, memoized per (K, OP) bytes."""
+    return _xor(AES128(k).encrypt_block(op), op)
+
+
+@lru_cache(maxsize=4096)
+def _out_blocks(k: bytes, opc: bytes, rand: bytes) -> tuple[bytes, bytes, bytes, bytes, bytes]:
+    """(TEMP, OUT2, OUT3, OUT4, OUT5) for one (K, OPc, RAND) triple.
+
+    TEMP = E_K(RAND xor OPc) feeds f1/f1* (which also need SQN/AMF);
+    OUT2..OUT5 are the finished f2..f5* blocks.
+    """
+    cipher = AES128(k)
+    temp = cipher.encrypt_block(_xor(rand, opc))
+    temp_x_opc = _xor(temp, opc)
+    outs = [temp]
+    for i in range(1, 5):
+        rotated = _rotate(temp_x_opc, _R[i])
+        outs.append(_xor(cipher.encrypt_block(_xor(rotated, _C[i])), opc))
+    return tuple(outs)  # type: ignore[return-value]
 
 
 class Milenage:
     """Milenage keyed by (K, OP). Computes OPc internally."""
 
-    # Rotation/constant parameters from TS 35.206 §4.1 (default values).
-    _R = (64, 0, 32, 64, 96)
-    _C = (
-        bytes(16),
-        bytes(15) + b"\x01",
-        bytes(15) + b"\x02",
-        bytes(15) + b"\x04",
-        bytes(15) + b"\x08",
-    )
+    # Kept as class attributes for introspection/tests; the module-level
+    # tuples are the ones the cached kernels read.
+    _R = _R
+    _C = _C
+
+    __slots__ = ("_k", "_cipher", "opc")
 
     def __init__(self, k: bytes, op: bytes | None = None, opc: bytes | None = None) -> None:
         if len(k) != 16:
             raise ValueError("K must be 16 bytes")
+        self._k = bytes(k)
         self._cipher = AES128(k)
         if opc is not None:
             if len(opc) != 16:
@@ -55,26 +98,15 @@ class Milenage:
         elif op is not None:
             if len(op) != 16:
                 raise ValueError("OP must be 16 bytes")
-            self.opc = _xor(self._cipher.encrypt_block(op), op)
+            self.opc = _derive_opc(self._k, bytes(op))
         else:
             raise ValueError("one of op/opc is required")
 
     # ------------------------------------------------------------------
-    def _out_blocks(self, rand: bytes) -> tuple[bytes, bytes, bytes, bytes, bytes]:
-        """Compute OUT1..OUT5 for f1/f1* (OUT1) and f2..f5* (OUT2..5)."""
+    def _outs(self, rand: bytes) -> tuple[bytes, bytes, bytes, bytes, bytes]:
         if len(rand) != 16:
             raise ValueError("RAND must be 16 bytes")
-        temp = self._cipher.encrypt_block(_xor(rand, self.opc))
-        outs = []
-        for i in range(5):
-            if i == 0:
-                # OUT1 needs IN1 (SQN||AMF twice); computed in f1 itself.
-                outs.append(temp)
-                continue
-            rotated = _rotate(_xor(temp, self.opc), self._R[i])
-            out = _xor(self._cipher.encrypt_block(_xor(rotated, self._C[i])), self.opc)
-            outs.append(out)
-        return tuple(outs)  # type: ignore[return-value]
+        return _out_blocks(self._k, self.opc, bytes(rand))
 
     def f1(self, rand: bytes, sqn: bytes, amf: bytes) -> bytes:
         """MAC-A (8 bytes)."""
@@ -87,33 +119,33 @@ class Milenage:
     def _f1_common(self, rand: bytes, sqn: bytes, amf: bytes) -> bytes:
         if len(sqn) != 6 or len(amf) != 2:
             raise ValueError("SQN must be 6 bytes and AMF 2 bytes")
-        temp = self._cipher.encrypt_block(_xor(rand, self.opc))
+        temp = self._outs(rand)[0]
         in1 = sqn + amf + sqn + amf
-        rotated = _rotate(_xor(in1, self.opc), self._R[0])
+        rotated = _rotate(_xor(in1, self.opc), _R[0])
         out1 = _xor(
-            self._cipher.encrypt_block(_xor(_xor(temp, rotated), self._C[0])), self.opc
+            self._cipher.encrypt_block(_xor(_xor(temp, rotated), _C[0])), self.opc
         )
         return out1
 
     def f2(self, rand: bytes) -> bytes:
         """RES (8 bytes)."""
-        return self._out_blocks(rand)[1][8:]
+        return self._outs(rand)[1][8:]
 
     def f3(self, rand: bytes) -> bytes:
         """CK (16 bytes)."""
-        return self._out_blocks(rand)[2]
+        return self._outs(rand)[2]
 
     def f4(self, rand: bytes) -> bytes:
         """IK (16 bytes)."""
-        return self._out_blocks(rand)[3]
+        return self._outs(rand)[3]
 
     def f5(self, rand: bytes) -> bytes:
         """AK (6 bytes)."""
-        return self._out_blocks(rand)[1][:6]
+        return self._outs(rand)[1][:6]
 
     def f5_star(self, rand: bytes) -> bytes:
         """AK for resynchronisation (6 bytes)."""
-        return self._out_blocks(rand)[4][:6]
+        return self._outs(rand)[4][:6]
 
     # ------------------------------------------------------------------
     def generate_autn(self, rand: bytes, sqn: bytes, amf: bytes = b"\x80\x00") -> bytes:

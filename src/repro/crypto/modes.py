@@ -3,11 +3,18 @@
 128-EEA2 (TS 33.401 B.1.3) is AES-128 in counter mode with a 128-bit
 initial counter block built from COUNT (32 bits), BEARER (5 bits) and
 DIRECTION (1 bit), the remaining 90 bits zero.
+
+The keystream is generated in batches: all counter blocks for a payload
+are laid out in one buffer and encrypted with a single
+:meth:`~repro.crypto.aes.AES128.encrypt_blocks` sweep, and the XOR with
+the payload runs as one wide integer operation instead of per byte.
 """
 
 from __future__ import annotations
 
 from repro.crypto.aes import AES128
+
+_MASK_128 = (1 << 128) - 1
 
 
 def _counter_block(count: int, bearer: int, direction: int) -> bytes:
@@ -23,27 +30,43 @@ def _counter_block(count: int, bearer: int, direction: int) -> bytes:
     return bytes(block)
 
 
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings via one wide integer op."""
+    if len(a) != len(b):
+        raise ValueError("xor operands must be the same length")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big")
+
+
 def aes_ctr_keystream(cipher: AES128, initial_counter: bytes, length: int) -> bytes:
     """Generate ``length`` keystream bytes from ``initial_counter``.
 
     The counter is the full 128-bit block, incremented mod 2^128 per
-    block, matching both NIST SP 800-38A CTR and 3GPP usage.
+    block, matching both NIST SP 800-38A CTR and 3GPP usage. All
+    counter blocks are built up front and encrypted in one batch.
     """
     if len(initial_counter) != 16:
         raise ValueError("counter block must be 16 bytes")
+    if length <= 0:
+        return b""
+    n_blocks = (length + 15) // 16
     counter = int.from_bytes(initial_counter, "big")
-    out = bytearray()
-    while len(out) < length:
-        out.extend(cipher.encrypt_block(counter.to_bytes(16, "big")))
-        counter = (counter + 1) % (1 << 128)
-    return bytes(out[:length])
+    counters = bytearray(n_blocks * 16)
+    for i in range(n_blocks):
+        counters[i * 16: i * 16 + 16] = counter.to_bytes(16, "big")
+        counter = (counter + 1) & _MASK_128
+    return cipher.encrypt_blocks(bytes(counters))[:length]
 
 
 def eea2_encrypt(key: bytes, count: int, bearer: int, direction: int, plaintext: bytes) -> bytes:
     """128-EEA2 encryption (XOR with the AES-CTR keystream)."""
+    if not plaintext:
+        # Validate parameters even for empty payloads.
+        _counter_block(count, bearer, direction)
+        return b""
     cipher = AES128(key)
     keystream = aes_ctr_keystream(cipher, _counter_block(count, bearer, direction), len(plaintext))
-    return bytes(p ^ k for p, k in zip(plaintext, keystream))
+    return xor_bytes(plaintext, keystream)
 
 
 def eea2_decrypt(key: bytes, count: int, bearer: int, direction: int, ciphertext: bytes) -> bytes:

@@ -97,6 +97,8 @@ class App:
         self._dns_cache: tuple[str, float] | None = None
         self._retry_pending = False
         self._episode_first_failure = 0.0
+        self._event_label = f"app:{profile.name}"
+        self._retry_label = f"app:{profile.name}:retry"
 
     DNS_CACHE_TTL = 600.0
     # Failed interactions are retried quickly (browser/app retry
@@ -118,8 +120,8 @@ class App:
     def _schedule_next(self) -> None:
         if not self.running:
             return
-        self.sim.schedule(self.profile.interval, self._do_exchange,
-                          label=f"app:{self.profile.name}")
+        self.sim.schedule_fire(self.profile.interval, self._do_exchange,
+                               label=self._event_label)
 
     # ------------------------------------------------------------------
     def _do_exchange(self) -> None:
@@ -210,8 +212,8 @@ class App:
             and self.profile.interval > self.FAILURE_RETRY_DELAY
         ):
             self._retry_pending = True
-            self.sim.schedule(self.FAILURE_RETRY_DELAY, self._do_retry,
-                              label=f"app:{self.profile.name}:retry")
+            self.sim.schedule_fire(self.FAILURE_RETRY_DELAY, self._do_retry,
+                                   label=self._retry_label)
         # Buffer masks short gaps: the user only perceives disruption
         # once the gap since the last success exceeds the buffer — and
         # not before the app actually observed a failure (idle time

@@ -76,20 +76,33 @@ class Upf:
         self.default_address = "203.0.113.10"
         self.delivered = 0
         self.dropped = 0
+        # Positive session_for_ip results, invalidated on any session
+        # mutation. Packets outnumber session changes by orders of
+        # magnitude, so the linear scan runs once per (ip, epoch).
+        self._ip_cache: dict[str, SessionContext] = {}
+        # Bound draw on the memoized latency stream; same stream, same
+        # draw sequence as rng.gauss_clamped("upf.latency", ...).
+        self._latency_gauss = sim.rng.stream("upf.latency").gauss
 
     # ------------------------------------------------------------------
     # Session management (driven by the SMF)
     # ------------------------------------------------------------------
     def add_session(self, ctx: SessionContext) -> None:
         self.sessions.setdefault(ctx.supi, {})[ctx.pdu_session_id] = ctx
+        self._ip_cache.clear()
 
     def remove_session(self, supi: str, pdu_session_id: int) -> SessionContext | None:
+        self._ip_cache.clear()
         return self.sessions.get(supi, {}).pop(pdu_session_id, None)
 
     def session_for_ip(self, ip: str) -> SessionContext | None:
+        ctx = self._ip_cache.get(ip)
+        if ctx is not None:
+            return ctx
         for per_supi in self.sessions.values():
             for ctx in per_supi.values():
                 if ctx.ip_address == ip:
+                    self._ip_cache[ip] = ctx
                     return ctx
         return None
 
@@ -111,11 +124,12 @@ class Upf:
         if on_response is not None:
             reply = self._service_reply(packet, ctx)
             if reply is not None:
-                rtt = 2 * self.sim.rng.gauss_clamped(
-                    "upf.latency", self.ONE_WAY_LATENCY_MEAN, self.ONE_WAY_LATENCY_STDEV, 0.002
+                gauss = self._latency_gauss(
+                    self.ONE_WAY_LATENCY_MEAN, self.ONE_WAY_LATENCY_STDEV
                 )
-                self.sim.schedule(rtt, self._deliver_downlink, reply, ctx, on_response,
-                                  label="upf:reply")
+                rtt = 2 * (gauss if gauss > 0.002 else 0.002)
+                self.sim.schedule_fire(rtt, self._deliver_downlink, reply, ctx, on_response,
+                                       label="upf:reply")
         return Verdict.DELIVERED
 
     def _deliver_downlink(self, reply: Packet, ctx: SessionContext, on_response) -> None:
@@ -123,7 +137,8 @@ class Upf:
             self.dropped += 1
             return
         # Session may have been torn down in flight.
-        if ctx.pdu_session_id not in self.sessions.get(ctx.supi, {}):
+        per_supi = self.sessions.get(ctx.supi)
+        if per_supi is None or ctx.pdu_session_id not in per_supi:
             return
         self.delivered += 1
         on_response(reply)
@@ -164,20 +179,30 @@ class Upf:
         return True
 
     def _blocked(self, packet: Packet, supi: str) -> bool:
-        for rule in self.rules:
-            if rule.matches(packet, supi):
+        # Hot path: one call per packet per direction. Enum .value reads
+        # are hoisted and the engine's rule list is filtered inline
+        # instead of materialising a fresh list per packet — DNS_OUTAGE
+        # failures never block the wire, so only BLOCK mode matters here.
+        if self.rules:
+            for rule in self.rules:
+                if rule.matches(packet, supi):
+                    return True
+        uplink = packet.direction is Direction.UPLINK
+        # Read-only policy probe: an absent policy blocks nothing, so
+        # the auto-vivifying policy_for() is not needed on this path.
+        policy = self.config_store.user_policies.get(supi)
+        if policy is not None and policy.blocked:
+            port = packet.dst_port if uplink else packet.src_port
+            direction_value = "uplink" if uplink else "downlink"
+            if policy.blocks(packet.protocol.value, direction_value, port):
                 return True
-        policy = self.config_store.policy_for(supi)
-        port = packet.dst_port if packet.direction is Direction.UPLINK else packet.src_port
-        if policy.blocks(packet.protocol.value, packet.direction.value, port):
-            return True
-        for failure in self.engine.blocking_rules(supi):
+        for failure in self.engine.active:
             spec = failure.spec
-            if spec.mode is FailureMode.DNS_OUTAGE:
-                continue  # handled at the resolver, not the wire
+            if spec.mode is not FailureMode.BLOCK or not failure.applies_to(supi):
+                continue
             if spec.block_protocol and spec.block_protocol != packet.protocol.value:
                 continue
-            if spec.block_direction not in ("both", packet.direction.value):
+            if spec.block_direction not in ("both", "uplink" if uplink else "downlink"):
                 continue
             failure.hits += 1
             return True

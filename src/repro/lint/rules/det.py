@@ -14,7 +14,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.astutil import call_name, is_set_expr, keyword_arg
+from repro.lint.astutil import call_name, dotted_name, is_set_expr, keyword_arg
 from repro.lint.engine import Module
 from repro.lint.finding import Finding
 from repro.lint.registry import rule
@@ -24,6 +24,8 @@ from repro.lint.registry import rule
 DET_SCOPE = ("simkernel", "core", "fleet", "nas")
 DET_RNG_SCOPE = DET_SCOPE + ("traces",)
 DET_ORDER_SCOPE = ("core", "fleet")
+#: Memoization rules also cover the crypto kernels (PR 4 hot paths).
+DET_CACHE_SCOPE = DET_SCOPE + ("crypto",)
 
 # Wall-clock / entropy reads that make reruns diverge. Matched as
 # dotted-name suffixes so both ``datetime.now`` and
@@ -181,3 +183,84 @@ def det004_unsorted_json(module: Module) -> Iterator[Finding]:
                 f"{dotted}() without sort_keys=True serializes dict "
                 f"insertion order; the aggregate surface must be key-sorted",
             )
+
+
+#: Annotation names that make a safe memoization key: immutable scalars
+#: whose equality is value equality, so a cache hit is byte-for-byte
+#: indistinguishable from recomputing.
+_PURE_KEY_TYPES = {"bytes", "int", "str", "bool"}
+
+
+def _cache_decorator(node: ast.expr) -> tuple[str, ast.Call | None] | None:
+    """(dotted decorator name, call node or None) for cache decorators."""
+    call = None
+    target = node
+    if isinstance(node, ast.Call):
+        call = node
+        target = node.func
+    dotted = dotted_name(target)
+    if dotted in ("cache", "functools.cache", "lru_cache", "functools.lru_cache"):
+        return dotted, call
+    return None
+
+
+def _pure_key_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """None if every parameter is annotated with a pure-key scalar type;
+    otherwise the name of the first offending parameter."""
+    arguments = fn.args
+    if arguments.vararg is not None:
+        return "*" + arguments.vararg.arg
+    if arguments.kwarg is not None:
+        return "**" + arguments.kwarg.arg
+    for arg in arguments.posonlyargs + arguments.args + arguments.kwonlyargs:
+        annotation = arg.annotation
+        if not (
+            isinstance(annotation, ast.Name)
+            and annotation.id in _PURE_KEY_TYPES
+        ):
+            return arg.arg
+    return None
+
+
+@rule(
+    "DET005",
+    "memoization on the deterministic surface must be bounded "
+    "(lru_cache with a finite maxsize) and keyed purely by immutable "
+    "scalars (bytes/int/str/bool annotations on every parameter)",
+    scope=DET_CACHE_SCOPE,
+)
+def det005_unsafe_memoization(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            matched = _cache_decorator(decorator)
+            if matched is None:
+                continue
+            dotted, call = matched
+            if dotted.endswith("cache") and not dotted.endswith("lru_cache"):
+                yield Finding(
+                    module.path, decorator.lineno, decorator.col_offset, "DET005",
+                    f"@{dotted} is unbounded; use lru_cache with a finite "
+                    f"maxsize so long fleet runs cannot grow memory without bound",
+                )
+                continue
+            if call is not None:
+                maxsize = keyword_arg(call, "maxsize")
+                if maxsize is None and call.args:
+                    maxsize = call.args[0]
+                if isinstance(maxsize, ast.Constant) and maxsize.value is None:
+                    yield Finding(
+                        module.path, decorator.lineno, decorator.col_offset, "DET005",
+                        "lru_cache(maxsize=None) is unbounded; give the cache "
+                        "a finite maxsize",
+                    )
+                    continue
+            offending = _pure_key_params(node)
+            if offending is not None:
+                yield Finding(
+                    module.path, decorator.lineno, decorator.col_offset, "DET005",
+                    f"memoized {node.name}() parameter {offending!r} is not "
+                    f"annotated as a pure immutable key (bytes/int/str/bool); "
+                    f"cache hits could alias mutable or identity-keyed state",
+                )

@@ -139,7 +139,7 @@ def proto001_applet_registry(project: Project) -> Iterator[Finding]:
 @rule(
     "PROTO002",
     "every NAS message class must be round-trip-registered in the codec "
-    "(an _encode_body branch and a _DECODERS entry)",
+    "(an _ENCODERS entry or _encode_body branch, and a _DECODERS entry)",
     project=True,
 )
 def proto002_codec_roundtrip(project: Project) -> Iterator[Finding]:
@@ -166,7 +166,9 @@ def proto002_codec_roundtrip(project: Project) -> Iterator[Finding]:
                 ):
                     class_types[node.name] = (child.value.attr, node.lineno)
 
-    # Encoder branches: isinstance(msg, Cls) checks anywhere in the codec.
+    # Encoder registrations: class-name keys of the _ENCODERS dict literal
+    # (precompiled registration table), plus legacy isinstance(msg, Cls)
+    # dispatch branches anywhere in the codec.
     encoded: set[str] = set()
     for node in ast.walk(codec.tree):
         if (
@@ -180,6 +182,17 @@ def proto002_codec_roundtrip(project: Project) -> Iterator[Finding]:
             for name in names:
                 if isinstance(name, ast.Name):
                     encoded.add(name.id)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if not any(
+                isinstance(target, ast.Name) and target.id == "_ENCODERS"
+                for target in targets
+            ):
+                continue
+            if isinstance(node.value, ast.Dict):
+                for key in node.value.keys:
+                    if isinstance(key, ast.Name):
+                        encoded.add(key.id)
 
     # Decoder table: MessageType.X keys of the _DECODERS dict.
     decoded: set[str] = set()
@@ -204,8 +217,8 @@ def proto002_codec_roundtrip(project: Project) -> Iterator[Finding]:
         if class_name not in encoded:
             yield Finding(
                 messages.path, lineno, 0, "PROTO002",
-                f"{class_name} has no _encode_body branch in {CODEC_PATH}; "
-                f"the message cannot be serialized",
+                f"{class_name} has no _ENCODERS entry (or _encode_body "
+                f"branch) in {CODEC_PATH}; the message cannot be serialized",
             )
         if member not in decoded:
             yield Finding(

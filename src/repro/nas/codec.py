@@ -10,6 +10,13 @@ SEED cares about the wire format in two places: the Authentication
 Request (RAND/AUTN fields reused as the downlink diagnosis channel)
 and the PDU Session Establishment Request (DNN field reused as the
 uplink channel). Both are encoded at true field widths here.
+
+Encoders are precompiled at registration time: each message class maps
+(in ``_ENCODERS``) to its prebuilt 3-byte wire header plus a dedicated
+body function using precompiled :class:`struct.Struct` packers — no
+per-call ``isinstance`` dispatch chain or header rebuild. Immutable IEs
+that repeat across a scenario (cause codes, DNN labels) are memoized in
+:mod:`repro.nas.ies`.
 """
 
 from __future__ import annotations
@@ -48,23 +55,31 @@ class CodecError(ValueError):
 
 
 # ---------------------------------------------------------------------------
-# TLV plumbing
+# TLV plumbing (precompiled struct packers)
 # ---------------------------------------------------------------------------
+_TLV_HEADER = struct.Struct(">BH")
+_U32_STRUCT = struct.Struct(">I")
+_F64_STRUCT = struct.Struct(">d")
+_LEN16_STRUCT = struct.Struct(">H")
+
+
 def _tlv(tag: int, value: bytes) -> bytes:
     if len(value) > 0xFFFF:
         raise CodecError("IE too long")
-    return struct.pack(">BH", tag, len(value)) + value
+    return _TLV_HEADER.pack(tag, len(value)) + value
 
 
 def _parse_tlvs(data: bytes) -> dict[int, bytes]:
     out: dict[int, bytes] = {}
+    unpack_header = _TLV_HEADER.unpack_from
     index = 0
-    while index < len(data):
-        if index + 3 > len(data):
+    end = len(data)
+    while index < end:
+        if index + 3 > end:
             raise CodecError("truncated TLV header")
-        tag, length = struct.unpack_from(">BH", data, index)
+        tag, length = unpack_header(data, index)
         index += 3
-        if index + length > len(data):
+        if index + length > end:
             raise CodecError("truncated TLV value")
         out[tag] = data[index : index + length]
         index += length
@@ -76,27 +91,29 @@ def _str(value: str) -> bytes:
 
 
 def _u32(value: int) -> bytes:
-    return struct.pack(">I", value)
+    return _U32_STRUCT.pack(value)
 
 
 def _f64(value: float) -> bytes:
-    return struct.pack(">d", value)
+    return _F64_STRUCT.pack(value)
 
 
 def _str_tuple(values: tuple[str, ...]) -> bytes:
     out = bytearray()
+    pack_len = _LEN16_STRUCT.pack
     for v in values:
         raw = v.encode("utf-8")
-        out.extend(struct.pack(">H", len(raw)))
+        out.extend(pack_len(len(raw)))
         out.extend(raw)
     return bytes(out)
 
 
 def _parse_str_tuple(data: bytes) -> tuple[str, ...]:
     values = []
+    unpack_len = _LEN16_STRUCT.unpack_from
     index = 0
     while index < len(data):
-        (length,) = struct.unpack_from(">H", data, index)
+        (length,) = unpack_len(data, index)
         index += 2
         values.append(data[index : index + length].decode("utf-8"))
         index += length
@@ -112,100 +129,169 @@ T_TFT, T_ACK_FLAG, T_NEW_DNS = 0x27, 0x28, 0x29
 
 
 # ---------------------------------------------------------------------------
-# Encode
+# Encode — precompiled per-message encoders
 # ---------------------------------------------------------------------------
+def _wire_header(message_type: int) -> bytes:
+    """Prebuilt EPD | security-header | message-type header bytes."""
+    epd = EPD_5GSM if message_type >= 0xC0 else EPD_5GMM
+    security_header = 0x00  # plain NAS message
+    return bytes([epd, security_header, message_type])
+
+
 def encode(msg: NasMessage) -> bytes:
     """Serialise a NAS message to wire bytes."""
-    body = _encode_body(msg)
-    epd = EPD_5GSM if msg.is_session_management else EPD_5GMM
-    security_header = 0x00  # plain NAS message
-    return bytes([epd, security_header, msg.MESSAGE_TYPE]) + body
+    entry = _ENCODERS.get(type(msg))
+    if entry is None:
+        raise CodecError(f"no encoder for {type(msg).__name__}")
+    header, encode_body = entry
+    return header + encode_body(msg)
 
 
 def _encode_body(msg: NasMessage) -> bytes:
-    if isinstance(msg, RegistrationRequest):
-        parts = [_tlv(T_SUPI, _str(msg.supi)), _tlv(T_PLMN, _str(msg.requested_plmn)),
-                 _tlv(T_TA, _u32(msg.tracking_area)), _tlv(T_CAPS, _str_tuple(msg.capabilities)),
-                 _tlv(T_SST, bytes([msg.requested_sst & 0xFF]))]
-        if msg.guti is not None:
-            parts.append(_tlv(T_GUTI, _str(msg.guti)))
-        return b"".join(parts)
-    if isinstance(msg, RegistrationAccept):
-        return b"".join([
-            _tlv(T_GUTI, _str(msg.guti)),
-            _tlv(T_TALIST, b"".join(_u32(t) for t in msg.tracking_area_list)),
-            _tlv(T_TIMER, _f64(msg.t3512_seconds)),
-        ])
-    if isinstance(msg, RegistrationReject):
-        parts = [_tlv(T_CAUSE, ies.encode_cause(msg.cause))]
-        if msg.t3502_seconds is not None:
-            parts.append(_tlv(T_TIMER, _f64(msg.t3502_seconds)))
-        return b"".join(parts)
-    if isinstance(msg, DeregistrationRequest):
-        return b"".join([
-            _tlv(T_SUPI, _str(msg.supi)),
-            _tlv(T_SWITCH_OFF, bytes([1 if msg.switch_off else 0])),
-        ])
-    if isinstance(msg, ServiceRequest):
-        return _tlv(T_GUTI, _str(msg.guti))
-    if isinstance(msg, ServiceReject):
-        return _tlv(T_CAUSE, ies.encode_cause(msg.cause))
-    if isinstance(msg, AuthenticationRequest):
-        return b"".join([
-            _tlv(T_RAND, ies.validate_rand(msg.rand)),
-            _tlv(T_AUTN, ies.validate_autn(msg.autn)),
-            _tlv(T_NGKSI, bytes([msg.ngksi & 0x0F])),
-        ])
-    if isinstance(msg, AuthenticationResponse):
-        return _tlv(T_RES, msg.res)
-    if isinstance(msg, AuthenticationFailure):
-        return b"".join([_tlv(T_CAUSE, ies.encode_cause(msg.cause)), _tlv(T_AUTS, msg.auts)])
-    if isinstance(msg, PduSessionEstablishmentRequest):
-        dnn_wire = msg.dnn_raw if msg.dnn_raw is not None else ies.encode_dnn(msg.dnn)
-        if len(dnn_wire) > ies.MAX_DNN_LENGTH:
-            raise CodecError("DNN field over 100-octet budget")
-        return b"".join([
-            _tlv(T_PSI, bytes([msg.pdu_session_id])),
-            _tlv(T_DNN, dnn_wire),
-            _tlv(T_PDU_TYPE, _str(msg.pdu_session_type)),
-            _tlv(T_SST, bytes([msg.s_nssai_sst])),
-        ])
-    if isinstance(msg, PduSessionEstablishmentAccept):
-        return b"".join([
-            _tlv(T_PSI, bytes([msg.pdu_session_id])),
-            _tlv(T_IP, _str(msg.ip_address)),
-            _tlv(T_DNS, _str(msg.dns_server)),
-            _tlv(T_5QI, bytes([msg.qos_5qi])),
-        ])
-    if isinstance(msg, PduSessionEstablishmentReject):
-        return b"".join([
-            _tlv(T_PSI, bytes([msg.pdu_session_id])),
-            _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
-            _tlv(T_ACK_FLAG, bytes([1 if msg.is_ack else 0])),
-        ])
-    if isinstance(msg, PduSessionModificationRequest):
-        return b"".join([
-            _tlv(T_PSI, bytes([msg.pdu_session_id])),
-            _tlv(T_TFT, _str_tuple(msg.requested_tft)),
-        ])
-    if isinstance(msg, PduSessionModificationReject):
-        return b"".join([
-            _tlv(T_PSI, bytes([msg.pdu_session_id])),
-            _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
-        ])
-    if isinstance(msg, PduSessionModificationCommand):
-        parts = [_tlv(T_PSI, bytes([msg.pdu_session_id])), _tlv(T_TFT, _str_tuple(msg.new_tft))]
-        if msg.new_dns_server is not None:
-            parts.append(_tlv(T_NEW_DNS, _str(msg.new_dns_server)))
-        return b"".join(parts)
-    if isinstance(msg, PduSessionReleaseRequest):
-        return _tlv(T_PSI, bytes([msg.pdu_session_id]))
-    if isinstance(msg, PduSessionReleaseCommand):
-        return b"".join([
-            _tlv(T_PSI, bytes([msg.pdu_session_id])),
-            _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
-        ])
-    raise CodecError(f"no encoder for {type(msg).__name__}")
+    """Body bytes only (compatibility seam for tests/tools)."""
+    entry = _ENCODERS.get(type(msg))
+    if entry is None:
+        raise CodecError(f"no encoder for {type(msg).__name__}")
+    return entry[1](msg)
+
+
+def _encode_registration_request(msg: RegistrationRequest) -> bytes:
+    parts = [_tlv(T_SUPI, _str(msg.supi)), _tlv(T_PLMN, _str(msg.requested_plmn)),
+             _tlv(T_TA, _u32(msg.tracking_area)), _tlv(T_CAPS, _str_tuple(msg.capabilities)),
+             _tlv(T_SST, bytes([msg.requested_sst & 0xFF]))]
+    if msg.guti is not None:
+        parts.append(_tlv(T_GUTI, _str(msg.guti)))
+    return b"".join(parts)
+
+
+def _encode_registration_accept(msg: RegistrationAccept) -> bytes:
+    return b"".join([
+        _tlv(T_GUTI, _str(msg.guti)),
+        _tlv(T_TALIST, b"".join(_u32(t) for t in msg.tracking_area_list)),
+        _tlv(T_TIMER, _f64(msg.t3512_seconds)),
+    ])
+
+
+def _encode_registration_reject(msg: RegistrationReject) -> bytes:
+    parts = [_tlv(T_CAUSE, ies.encode_cause(msg.cause))]
+    if msg.t3502_seconds is not None:
+        parts.append(_tlv(T_TIMER, _f64(msg.t3502_seconds)))
+    return b"".join(parts)
+
+
+def _encode_deregistration_request(msg: DeregistrationRequest) -> bytes:
+    return b"".join([
+        _tlv(T_SUPI, _str(msg.supi)),
+        _tlv(T_SWITCH_OFF, bytes([1 if msg.switch_off else 0])),
+    ])
+
+
+def _encode_service_request(msg: ServiceRequest) -> bytes:
+    return _tlv(T_GUTI, _str(msg.guti))
+
+
+def _encode_service_reject(msg: ServiceReject) -> bytes:
+    return _tlv(T_CAUSE, ies.encode_cause(msg.cause))
+
+
+def _encode_auth_request(msg: AuthenticationRequest) -> bytes:
+    return b"".join([
+        _tlv(T_RAND, ies.validate_rand(msg.rand)),
+        _tlv(T_AUTN, ies.validate_autn(msg.autn)),
+        _tlv(T_NGKSI, bytes([msg.ngksi & 0x0F])),
+    ])
+
+
+def _encode_auth_response(msg: AuthenticationResponse) -> bytes:
+    return _tlv(T_RES, msg.res)
+
+
+def _encode_auth_failure(msg: AuthenticationFailure) -> bytes:
+    return b"".join([_tlv(T_CAUSE, ies.encode_cause(msg.cause)), _tlv(T_AUTS, msg.auts)])
+
+
+def _encode_pdu_est_request(msg: PduSessionEstablishmentRequest) -> bytes:
+    dnn_wire = msg.dnn_raw if msg.dnn_raw is not None else ies.encode_dnn(msg.dnn)
+    if len(dnn_wire) > ies.MAX_DNN_LENGTH:
+        raise CodecError("DNN field over 100-octet budget")
+    return b"".join([
+        _tlv(T_PSI, bytes([msg.pdu_session_id])),
+        _tlv(T_DNN, dnn_wire),
+        _tlv(T_PDU_TYPE, _str(msg.pdu_session_type)),
+        _tlv(T_SST, bytes([msg.s_nssai_sst])),
+    ])
+
+
+def _encode_pdu_est_accept(msg: PduSessionEstablishmentAccept) -> bytes:
+    return b"".join([
+        _tlv(T_PSI, bytes([msg.pdu_session_id])),
+        _tlv(T_IP, _str(msg.ip_address)),
+        _tlv(T_DNS, _str(msg.dns_server)),
+        _tlv(T_5QI, bytes([msg.qos_5qi])),
+    ])
+
+
+def _encode_pdu_est_reject(msg: PduSessionEstablishmentReject) -> bytes:
+    return b"".join([
+        _tlv(T_PSI, bytes([msg.pdu_session_id])),
+        _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
+        _tlv(T_ACK_FLAG, bytes([1 if msg.is_ack else 0])),
+    ])
+
+
+def _encode_pdu_mod_request(msg: PduSessionModificationRequest) -> bytes:
+    return b"".join([
+        _tlv(T_PSI, bytes([msg.pdu_session_id])),
+        _tlv(T_TFT, _str_tuple(msg.requested_tft)),
+    ])
+
+
+def _encode_pdu_mod_reject(msg: PduSessionModificationReject) -> bytes:
+    return b"".join([
+        _tlv(T_PSI, bytes([msg.pdu_session_id])),
+        _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
+    ])
+
+
+def _encode_pdu_mod_command(msg: PduSessionModificationCommand) -> bytes:
+    parts = [_tlv(T_PSI, bytes([msg.pdu_session_id])), _tlv(T_TFT, _str_tuple(msg.new_tft))]
+    if msg.new_dns_server is not None:
+        parts.append(_tlv(T_NEW_DNS, _str(msg.new_dns_server)))
+    return b"".join(parts)
+
+
+def _encode_pdu_rel_request(msg: PduSessionReleaseRequest) -> bytes:
+    return _tlv(T_PSI, bytes([msg.pdu_session_id]))
+
+
+def _encode_pdu_rel_command(msg: PduSessionReleaseCommand) -> bytes:
+    return b"".join([
+        _tlv(T_PSI, bytes([msg.pdu_session_id])),
+        _tlv(T_CAUSE, ies.encode_cause(msg.cause)),
+    ])
+
+
+#: Registration table: message class -> (prebuilt wire header, body encoder).
+#: Built once at import; ``encode`` is a dict lookup, not a dispatch chain.
+_ENCODERS: dict[type, tuple[bytes, object]] = {
+    RegistrationRequest: (_wire_header(MessageType.REGISTRATION_REQUEST), _encode_registration_request),
+    RegistrationAccept: (_wire_header(MessageType.REGISTRATION_ACCEPT), _encode_registration_accept),
+    RegistrationReject: (_wire_header(MessageType.REGISTRATION_REJECT), _encode_registration_reject),
+    DeregistrationRequest: (_wire_header(MessageType.DEREGISTRATION_REQUEST), _encode_deregistration_request),
+    ServiceRequest: (_wire_header(MessageType.SERVICE_REQUEST), _encode_service_request),
+    ServiceReject: (_wire_header(MessageType.SERVICE_REJECT), _encode_service_reject),
+    AuthenticationRequest: (_wire_header(MessageType.AUTHENTICATION_REQUEST), _encode_auth_request),
+    AuthenticationResponse: (_wire_header(MessageType.AUTHENTICATION_RESPONSE), _encode_auth_response),
+    AuthenticationFailure: (_wire_header(MessageType.AUTHENTICATION_FAILURE), _encode_auth_failure),
+    PduSessionEstablishmentRequest: (_wire_header(MessageType.PDU_SESSION_ESTABLISHMENT_REQUEST), _encode_pdu_est_request),
+    PduSessionEstablishmentAccept: (_wire_header(MessageType.PDU_SESSION_ESTABLISHMENT_ACCEPT), _encode_pdu_est_accept),
+    PduSessionEstablishmentReject: (_wire_header(MessageType.PDU_SESSION_ESTABLISHMENT_REJECT), _encode_pdu_est_reject),
+    PduSessionModificationRequest: (_wire_header(MessageType.PDU_SESSION_MODIFICATION_REQUEST), _encode_pdu_mod_request),
+    PduSessionModificationReject: (_wire_header(MessageType.PDU_SESSION_MODIFICATION_REJECT), _encode_pdu_mod_reject),
+    PduSessionModificationCommand: (_wire_header(MessageType.PDU_SESSION_MODIFICATION_COMMAND), _encode_pdu_mod_command),
+    PduSessionReleaseRequest: (_wire_header(MessageType.PDU_SESSION_RELEASE_REQUEST), _encode_pdu_rel_request),
+    PduSessionReleaseCommand: (_wire_header(MessageType.PDU_SESSION_RELEASE_COMMAND), _encode_pdu_rel_command),
+}
 
 
 # ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ real wire format where it matters to SEED:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 class IeError(ValueError):
@@ -25,10 +26,13 @@ MAX_DNN_LENGTH = 100  # TS 23.003: APN up to 100 octets
 DFLAG_RAND = b"\xff" * 16  # paper §4.5: reserved RAND value marking diagnosis
 
 
+@lru_cache(maxsize=1024)
 def encode_dnn(dnn: str) -> bytes:
     """Encode a DNN string as length-prefixed labels (TS 23.003).
 
     ``"internet"`` → ``b"\\x08internet"``; dots separate labels.
+    The result is immutable and a pure function of ``dnn``, so it is
+    memoized — scenarios re-encode the same handful of DNNs constantly.
     """
     if not dnn:
         raise IeError("DNN must be non-empty")
@@ -133,7 +137,9 @@ class SNssai:
         raise IeError(f"unsupported S-NSSAI length {length}")
 
 
+@lru_cache(maxsize=256)
 def encode_cause(code: int) -> bytes:
+    """Single-byte cause IE; memoized (pure function of the int code)."""
     if not 0 <= code <= 0xFF:
         raise IeError("cause code out of range")
     return bytes([code])

@@ -1,0 +1,18 @@
+"""Profiling harness for the reproduction's hot paths.
+
+``python -m repro.profiling <suite>`` runs one of the registered
+workload suites under :mod:`cProfile` and reports a per-subsystem
+wall-time rollup (how much ``tottime`` landed in ``repro.crypto``,
+``repro.simkernel``, ``repro.nas``, ...) plus the top individual
+functions, as JSON. This is the tool that motivated and validated the
+PR 4 hot-path optimization pass: the pre-optimization profile showed
+~65 % of scenario time inside the byte-wise AES kernel.
+
+Profiling is telemetry, not simulation state: nothing here feeds the
+deterministic surface, so wall clocks are fair game.
+"""
+
+from repro.profiling.profiler import ProfileReport, profile_suite
+from repro.profiling.suites import SUITES, suite_names
+
+__all__ = ["ProfileReport", "profile_suite", "SUITES", "suite_names"]

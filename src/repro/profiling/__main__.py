@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.profiling``."""
+
+import sys
+
+from repro.profiling.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

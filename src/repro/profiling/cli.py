@@ -1,0 +1,30 @@
+"""Command-line interface: ``python -m repro.profiling <suite>``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.profiling.profiler import profile_suite, write_report
+from repro.profiling.suites import SUITES, suite_names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profiling",
+        description="Profile a registered workload suite and roll up "
+                    "internal time per subsystem.",
+    )
+    parser.add_argument("suite", choices=suite_names(),
+                        help="workload to profile")
+    parser.add_argument("--top", type=int, default=12,
+                        help="number of hottest functions to report")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the report as JSON to FILE")
+    args = parser.parse_args(argv)
+
+    report = profile_suite(args.suite, SUITES[args.suite], top=args.top)
+    print(report.render())
+    if args.json:
+        write_report(report, args.json)
+        print(f"\nwrote {args.json}")
+    return 0

@@ -1,0 +1,124 @@
+"""cProfile wrapper with per-subsystem wall-time rollup.
+
+The rollup answers the question the flat profile obscures: *which
+subsystem* (``repro.crypto``, ``repro.simkernel``, ``repro.nas``, ...)
+owns the run's internal time. Functions outside ``src/repro`` (stdlib,
+site-packages, builtins) are rolled up under ``"other"``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+#: Path fragment that marks a frame as belonging to the reproduction.
+_PACKAGE_MARKER = "repro"
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a frame's filename to its repro subsystem, or ``"other"``."""
+    parts = Path(filename).parts
+    for index, part in enumerate(parts):
+        if part == _PACKAGE_MARKER and index + 1 < len(parts):
+            nxt = parts[index + 1]
+            return nxt[:-3] if nxt.endswith(".py") else nxt
+    return "other"
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of one profiled suite run."""
+
+    suite: str
+    wall_seconds: float
+    total_calls: int
+    subsystems: dict[str, dict] = field(default_factory=dict)
+    top_functions: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "suite": self.suite,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "total_calls": self.total_calls,
+            "subsystems": self.subsystems,
+            "top_functions": self.top_functions,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"suite {self.suite}: {self.wall_seconds:.2f} s wall, "
+            f"{self.total_calls:,} calls",
+            "",
+            "per-subsystem internal time:",
+        ]
+        for name, stats in sorted(
+            self.subsystems.items(), key=lambda item: -item[1]["tottime"]
+        ):
+            share = stats["share"] * 100
+            lines.append(
+                f"  {name:>14}: {stats['tottime']:7.3f} s "
+                f"({share:5.1f} %)  {stats['calls']:>10,} calls"
+            )
+        lines.append("")
+        lines.append("hottest functions (tottime):")
+        for entry in self.top_functions:
+            lines.append(
+                f"  {entry['tottime']:7.3f} s  {entry['calls']:>9,}x  "
+                f"{entry['function']}"
+            )
+        return "\n".join(lines)
+
+
+def profile_suite(
+    suite: str, workload: Callable[[], None], top: int = 12
+) -> ProfileReport:
+    """Run ``workload`` under cProfile and roll the stats up."""
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    stats = pstats.Stats(profiler)
+    subsystems: dict[str, dict] = {}
+    functions: list[dict] = []
+    total_calls = 0
+    total_tottime = 0.0
+    for (filename, lineno, funcname), (cc, ncalls, tottime, _cum, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        total_calls += ncalls
+        total_tottime += tottime
+        bucket = subsystems.setdefault(
+            _subsystem_of(filename), {"tottime": 0.0, "calls": 0}
+        )
+        bucket["tottime"] += tottime
+        bucket["calls"] += ncalls
+        functions.append({
+            "function": f"{filename}:{lineno}({funcname})",
+            "calls": ncalls,
+            "tottime": round(tottime, 4),
+        })
+
+    denominator = total_tottime or 1.0
+    for bucket in subsystems.values():
+        bucket["tottime"] = round(bucket["tottime"], 4)
+        bucket["share"] = round(bucket["tottime"] / denominator, 4)
+    functions.sort(key=lambda entry: -entry["tottime"])
+    return ProfileReport(
+        suite=suite,
+        wall_seconds=wall,
+        total_calls=total_calls,
+        subsystems=subsystems,
+        top_functions=functions[:top],
+    )
+
+
+def write_report(report: ProfileReport, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report.to_json(), sort_keys=True, indent=1))

@@ -1,0 +1,98 @@
+"""Registered profiling workloads.
+
+Each suite is a zero-argument callable exercising one slice of the
+system at a size that profiles in seconds, not minutes. Suites use
+fixed seeds so consecutive profiles are comparable run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def _suite_crypto() -> None:
+    """AKA vectors, EEA2 encryption and EIA2 MACs in a tight loop."""
+    from repro.crypto.cmac import eia2_mac
+    from repro.crypto.milenage import Milenage
+    from repro.crypto.modes import eea2_encrypt
+
+    k = bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc")
+    op = bytes.fromhex("cdc202d5123e20f62b6d676ac72cb318")
+    rand = bytearray(bytes.fromhex("23553cbe9637a89d218ae64dae47bf35"))
+    sqn = bytes.fromhex("ff9bb4d0b607")
+    amf = bytes.fromhex("b9b9")
+    payload = bytes(range(256)) * 4
+    milenage = Milenage(k, op)
+    for count in range(400):
+        rand[0] = count & 0xFF
+        vector = bytes(rand)
+        milenage.f2(vector)
+        milenage.f3(vector)
+        milenage.f5(vector)
+        milenage.f1(vector, sqn, amf)
+        eea2_encrypt(k, count, 1, 0, payload)
+        eia2_mac(k, count, 1, 0, payload)
+
+
+def _suite_nas() -> None:
+    """Encode/decode sweep over a representative message corpus."""
+    from repro.nas import codec, messages
+
+    corpus = [
+        messages.RegistrationRequest(
+            supi="imsi-001010123456789", requested_plmn="00101",
+            tracking_area=7, capabilities=("nr", "eutra"), requested_sst=1,
+        ),
+        messages.AuthenticationRequest(rand=b"\x11" * 16, autn=b"\x22" * 16, ngksi=3),
+        messages.PduSessionEstablishmentRequest(
+            pdu_session_id=5, dnn="internet", pdu_session_type="IPv4", s_nssai_sst=1,
+        ),
+        messages.PduSessionEstablishmentAccept(
+            pdu_session_id=5, ip_address="10.0.0.2",
+            dns_server="8.8.8.8", qos_5qi=9,
+        ),
+    ]
+    for _ in range(20_000):
+        for message in corpus:
+            codec.decode(codec.encode(message))
+
+
+def _suite_simkernel() -> None:
+    """Pure event-dispatch churn: timer ladders with cancellations."""
+    from repro.simkernel.simulator import Simulator
+
+    sim = Simulator(seed=11)
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+        timer = sim.schedule(5.0, tick, label="ladder")
+        if counter[0] % 3 == 0:
+            timer.cancel()
+            sim.schedule_fire(1.0, tick, label="fast")
+
+    for lane in range(50):
+        sim.schedule(0.01 * lane, tick, label="seed")
+    sim.run(until=2_000.0)
+
+
+def _suite_scenario() -> None:
+    """End-to-end testbed scenarios (the Table 4 shapes)."""
+    from repro.testbed import HandlingMode, Testbed
+    from repro.testbed.scenarios import CONTROL_PLANE_MIX, DATA_PLANE_MIX
+
+    for scenario in (*CONTROL_PLANE_MIX[:2], *DATA_PLANE_MIX[:2]):
+        for handling in (HandlingMode.SEED_R, HandlingMode.LEGACY):
+            Testbed(seed=99, handling=handling).run_scenario(scenario)
+
+
+SUITES: dict[str, Callable[[], None]] = {
+    "crypto": _suite_crypto,
+    "nas": _suite_nas,
+    "simkernel": _suite_simkernel,
+    "scenario": _suite_scenario,
+}
+
+
+def suite_names() -> list[str]:
+    return sorted(SUITES)

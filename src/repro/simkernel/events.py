@@ -27,7 +27,12 @@ class Event:
     Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
     increasing sequence number assigned by the simulator, so two events
     at the same timestamp fire in scheduling order. This keeps runs
-    deterministic.
+    deterministic. The simulator stores events inside ``(time, seq,
+    event)`` heap entries, so ``heapq`` orders on the tuple prefix and
+    never dispatches into rich comparison on the event itself.
+
+    ``kwargs`` is ``None`` (not ``{}``) for the common no-keyword case,
+    so scheduling does not allocate a throwaway dict per event.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "kwargs", "state", "label")
@@ -45,7 +50,7 @@ class Event:
         self.seq = seq
         self.callback = callback
         self.args = args
-        self.kwargs = kwargs or {}
+        self.kwargs = kwargs if kwargs else None
         self.state = EventState.PENDING
         self.label = label
 
@@ -79,7 +84,10 @@ class Event:
         if self.state is not EventState.PENDING:
             raise RuntimeError(f"cannot fire event in state {self.state}")
         self.state = EventState.FIRED
-        self.callback(*self.args, **self.kwargs)
+        if self.kwargs is not None:
+            self.callback(*self.args, **self.kwargs)
+        else:
+            self.callback(*self.args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from repro.simkernel.simulator import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeSeries:
     """Timestamped samples of a scalar quantity."""
 
@@ -40,7 +40,7 @@ class TimeSeries:
         return len(self.values)
 
 
-@dataclass
+@dataclass(slots=True)
 class Interval:
     """A closed measurement interval (e.g. one service disruption)."""
 

@@ -46,6 +46,8 @@ class Waiter:
 
     TIMEOUT = object()
 
+    __slots__ = ("timeout", "_value", "_done", "_process", "_timeout_event")
+
     def __init__(self, timeout: float | None = None) -> None:
         self.timeout = timeout
         self._value: Any = None
@@ -80,6 +82,8 @@ class Waiter:
 
 class Process:
     """Drives a generator as a cooperatively-scheduled process."""
+
+    __slots__ = ("sim", "gen", "name", "alive", "result", "_stopping")
 
     def __init__(self, sim: Simulator, gen: Generator, name: str = "") -> None:
         self.sim = sim

@@ -29,7 +29,7 @@ class Verdict(enum.Enum):
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated datagram/segment."""
 
@@ -41,13 +41,15 @@ class Packet:
     dst_port: int = 0
     size_bytes: int = 100
     payload: dict = field(default_factory=dict)
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_packet_ids.__next__)
 
     def reply(self, **payload) -> "Packet":
         """Build the reverse-direction response packet."""
         direction = (
             Direction.DOWNLINK if self.direction is Direction.UPLINK else Direction.UPLINK
         )
+        # ``payload`` is a fresh kwargs dict owned by this call — handing
+        # it to the Packet directly avoids one dict copy per reply.
         return Packet(
             protocol=self.protocol,
             direction=direction,
@@ -56,7 +58,7 @@ class Packet:
             src_port=self.dst_port,
             dst_port=self.src_port,
             size_bytes=self.size_bytes,
-            payload=dict(payload),
+            payload=payload,
         )
 
 

@@ -25,7 +25,7 @@ class UdpResult(enum.Enum):
     NO_ROUTE = "no_route"
 
 
-@dataclass
+@dataclass(slots=True)
 class UdpOutcome:
     result: UdpResult
     dst_ip: str
@@ -51,7 +51,8 @@ class UdpClient:
         timeout: float = UDP_EXCHANGE_TIMEOUT,
         size_bytes: int = 200,
     ) -> None:
-        start = self.sim.now
+        sim = self.sim
+        start = sim.now
         packet = Packet(
             protocol=Protocol.UDP,
             direction=Direction.UPLINK,
@@ -61,36 +62,33 @@ class UdpClient:
             dst_port=dst_port,
             size_bytes=size_bytes,
         )
-        state = {"done": False}
-        timeout_event = self.sim.schedule(
-            timeout, self._on_timeout, dst_ip, dst_port, start, state, callback,
+        # The timeout event doubles as the exchange's done-flag: its
+        # cancel() succeeds exactly once, for whichever of reply /
+        # no-route / timeout settles the exchange first (no per-exchange
+        # state dict).
+        timeout_event = sim.schedule(
+            timeout, self._on_timeout, dst_ip, dst_port, start, callback,
             label="udp:timeout",
         )
 
         def on_reply(response: Packet) -> None:
-            if state["done"]:
+            if not timeout_event.cancel():
                 return
-            state["done"] = True
-            timeout_event.cancel()
             outcome = UdpOutcome(
                 UdpResult.REPLIED, dst_ip, dst_port,
-                latency=self.sim.now - start, time=self.sim.now,
+                latency=sim.now - start, time=sim.now,
             )
             self.history.append(outcome)
             callback(outcome)
 
         verdict = self.user_plane.submit(packet, on_reply)
         if verdict is Verdict.NO_ROUTE:
-            state["done"] = True
             timeout_event.cancel()
-            outcome = UdpOutcome(UdpResult.NO_ROUTE, dst_ip, dst_port, time=self.sim.now)
+            outcome = UdpOutcome(UdpResult.NO_ROUTE, dst_ip, dst_port, time=sim.now)
             self.history.append(outcome)
-            self.sim.call_soon(callback, outcome, label="udp:no-route")
+            sim.schedule_fire(0.0, callback, outcome, label="udp:no-route")
 
-    def _on_timeout(self, dst_ip: str, dst_port: int, start: float, state: dict, callback) -> None:
-        if state["done"]:
-            return
-        state["done"] = True
+    def _on_timeout(self, dst_ip: str, dst_port: int, start: float, callback) -> None:
         outcome = UdpOutcome(
             UdpResult.TIMEOUT, dst_ip, dst_port,
             latency=self.sim.now - start, time=self.sim.now,

@@ -1,0 +1,19 @@
+"""Fixture: DET005 — unsafe memoization on the deterministic surface."""
+
+import functools
+from functools import lru_cache
+
+
+@functools.cache
+def schedule(key: bytes) -> bytes:
+    return key * 2
+
+
+@lru_cache(maxsize=None)
+def subkeys(key: bytes) -> bytes:
+    return key[::-1]
+
+
+@lru_cache(maxsize=128)
+def derive(profile) -> bytes:
+    return bytes(profile.key)

@@ -1,0 +1,18 @@
+"""Fixture: DET005-clean — bounded caches keyed by pure immutable scalars."""
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=512)
+def schedule(key: bytes) -> bytes:
+    return key * 2
+
+
+@lru_cache
+def cause_ie(code: int, extended: bool) -> bytes:
+    return bytes([code, int(extended)])
+
+
+@lru_cache(maxsize=1024)
+def derive(name: str, salt: bytes) -> bytes:
+    return name.encode() + salt

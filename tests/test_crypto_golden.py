@@ -1,0 +1,451 @@
+"""Golden-vector and bit-exactness tests for the optimized crypto kernels.
+
+PR 4 replaced the per-byte AES round functions with T-table lookups and
+added ``lru_cache`` memoization of key schedules, CMAC subkeys and OPc.
+These tests guard that rewrite two ways:
+
+* published vectors — the full four-block NIST SP 800-38A ECB/CTR
+  sequences, the RFC 4493 subkey/tag vectors and the 3GPP TS 35.207
+  Test Set 1 Milenage vectors;
+* reference equivalence — a frozen copy of the pre-optimization
+  per-byte implementation is embedded below (``_RefAes`` / ``_ref_cmac``
+  / ``_RefMilenage``) and hypothesis asserts the optimized kernels are
+  byte-identical to it on random keys and messages.
+
+The reference copy is intentionally independent of ``repro.crypto``: it
+must keep producing the seed repo's outputs even if the optimized
+module regresses.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.cmac import _subkeys, aes_cmac, eia2_mac
+from repro.crypto.milenage import Milenage
+from repro.crypto.modes import aes_ctr_keystream, eea2_encrypt
+
+# ----------------------------------------------------------------------
+# Frozen pre-optimization reference (the seed repo's per-byte AES-128).
+# ----------------------------------------------------------------------
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _ref_build_sbox() -> tuple[bytes, bytes]:
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        transformed = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= b << bit
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_REF_SBOX, _REF_INV_SBOX = _ref_build_sbox()
+
+
+def _ref_xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _ref_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _ref_xtime(a)
+        b >>= 1
+    return result
+
+
+class _RefAes:
+    """The seed repo's clarity-first AES-128 (flat-list state, per byte)."""
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = self._expand_key(bytes(key))
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_REF_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(11):
+            flat: list[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[row:] + column_values[:row]
+            for col in range(4):
+                state[row + 4 * col] = shifted[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                state[row + 4 * col] = shifted[col]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base : base + 4]
+            state[base + 0] = _ref_mul(a0, 2) ^ _ref_mul(a1, 3) ^ a2 ^ a3
+            state[base + 1] = a0 ^ _ref_mul(a1, 2) ^ _ref_mul(a2, 3) ^ a3
+            state[base + 2] = a0 ^ a1 ^ _ref_mul(a2, 2) ^ _ref_mul(a3, 3)
+            state[base + 3] = _ref_mul(a0, 3) ^ a1 ^ a2 ^ _ref_mul(a3, 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            base = 4 * col
+            a0, a1, a2, a3 = state[base : base + 4]
+            state[base + 0] = (
+                _ref_mul(a0, 14) ^ _ref_mul(a1, 11) ^ _ref_mul(a2, 13) ^ _ref_mul(a3, 9)
+            )
+            state[base + 1] = (
+                _ref_mul(a0, 9) ^ _ref_mul(a1, 14) ^ _ref_mul(a2, 11) ^ _ref_mul(a3, 13)
+            )
+            state[base + 2] = (
+                _ref_mul(a0, 13) ^ _ref_mul(a1, 9) ^ _ref_mul(a2, 14) ^ _ref_mul(a3, 11)
+            )
+            state[base + 3] = (
+                _ref_mul(a0, 11) ^ _ref_mul(a1, 13) ^ _ref_mul(a2, 9) ^ _ref_mul(a3, 14)
+            )
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, 10):
+            for i in range(16):
+                state[i] = _REF_SBOX[state[i]]
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        for i in range(16):
+            state[i] = _REF_SBOX[state[i]]
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        state = list(block)
+        self._add_round_key(state, self._round_keys[10])
+        for r in range(9, 0, -1):
+            self._inv_shift_rows(state)
+            for i in range(16):
+                state[i] = _REF_INV_SBOX[state[i]]
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        for i in range(16):
+            state[i] = _REF_INV_SBOX[state[i]]
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+def _ref_xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _ref_left_shift_one(block: bytes) -> bytes:
+    value = int.from_bytes(block, "big") << 1
+    shifted = value & ((1 << 128) - 1)
+    if value >> 128:
+        shifted ^= 0x87
+    return shifted.to_bytes(16, "big")
+
+
+def _ref_subkeys(cipher: _RefAes) -> tuple[bytes, bytes]:
+    l_value = cipher.encrypt_block(bytes(16))
+    k1 = _ref_left_shift_one(l_value)
+    k2 = _ref_left_shift_one(k1)
+    return k1, k2
+
+
+def _ref_cmac(key: bytes, message: bytes) -> bytes:
+    cipher = _RefAes(key)
+    k1, k2 = _ref_subkeys(cipher)
+
+    n_blocks = max(1, (len(message) + 15) // 16)
+    complete_final = len(message) > 0 and len(message) % 16 == 0
+
+    if complete_final:
+        final = _ref_xor(message[-16:], k1)
+    else:
+        remainder = message[(n_blocks - 1) * 16 :]
+        padded = remainder + b"\x80" + bytes(16 - len(remainder) - 1)
+        final = _ref_xor(padded, k2)
+
+    state = bytes(16)
+    for i in range(n_blocks - 1):
+        state = cipher.encrypt_block(_ref_xor(state, message[i * 16 : (i + 1) * 16]))
+    return cipher.encrypt_block(_ref_xor(state, final))
+
+
+def _ref_ctr_keystream(key: bytes, initial_counter: bytes, length: int) -> bytes:
+    cipher = _RefAes(key)
+    counter = int.from_bytes(initial_counter, "big")
+    stream = bytearray()
+    while len(stream) < length:
+        stream += cipher.encrypt_block(counter.to_bytes(16, "big"))
+        counter = (counter + 1) & ((1 << 128) - 1)
+    return bytes(stream[:length])
+
+
+def _ref_rotate(block: bytes, bits: int) -> bytes:
+    value = int.from_bytes(block, "big")
+    rotated = ((value << bits) | (value >> (128 - bits))) & ((1 << 128) - 1)
+    return rotated.to_bytes(16, "big")
+
+
+class _RefMilenage:
+    """The seed repo's Milenage composed over the reference AES."""
+
+    _R = (64, 0, 32, 64, 96)
+    _C = (
+        bytes(16),
+        bytes(15) + b"\x01",
+        bytes(15) + b"\x02",
+        bytes(15) + b"\x04",
+        bytes(15) + b"\x08",
+    )
+
+    def __init__(self, k: bytes, op: bytes) -> None:
+        self._cipher = _RefAes(k)
+        self.opc = _ref_xor(self._cipher.encrypt_block(op), op)
+
+    def _out(self, rand: bytes, i: int) -> bytes:
+        temp = self._cipher.encrypt_block(_ref_xor(rand, self.opc))
+        rotated = _ref_rotate(_ref_xor(temp, self.opc), self._R[i])
+        return _ref_xor(
+            self._cipher.encrypt_block(_ref_xor(rotated, self._C[i])), self.opc
+        )
+
+    def f1(self, rand: bytes, sqn: bytes, amf: bytes) -> bytes:
+        temp = self._cipher.encrypt_block(_ref_xor(rand, self.opc))
+        in1 = sqn + amf + sqn + amf
+        rotated = _ref_rotate(_ref_xor(in1, self.opc), self._R[0])
+        out1 = _ref_xor(
+            self._cipher.encrypt_block(_ref_xor(_ref_xor(temp, rotated), self._C[0])),
+            self.opc,
+        )
+        return out1[:8]
+
+    def f2(self, rand: bytes) -> bytes:
+        return self._out(rand, 1)[8:]
+
+    def f3(self, rand: bytes) -> bytes:
+        return self._out(rand, 2)
+
+    def f5(self, rand: bytes) -> bytes:
+        return self._out(rand, 1)[:6]
+
+    def f5_star(self, rand: bytes) -> bytes:
+        return self._out(rand, 4)[:6]
+
+
+# ----------------------------------------------------------------------
+# Published multi-block vectors.
+# ----------------------------------------------------------------------
+
+_SP800_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+_SP800_PLAINTEXT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+_SP800_ECB_CIPHERTEXT = bytes.fromhex(
+    "3ad77bb40d7a3660a89ecaf32466ef97"
+    "f5d3d58503b9699de785895a96fdbaaf"
+    "43b1cd7f598ece23881b00e3ed030688"
+    "7b0c785e27e8ad3f8223207104725dd4"
+)
+_SP800_CTR_COUNTER = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+_SP800_CTR_CIPHERTEXT = bytes.fromhex(
+    "874d6191b620e3261bef6864990db6ce"
+    "9806f66b7970fdff8617187bb9fffdff"
+    "5ae4df3edbd5d35e5b4f09020db03eab"
+    "1e031dda2fbe03d1792170a0f3009cee"
+)
+
+
+class TestPublishedVectors:
+    def test_sp800_38a_ecb_all_four_blocks(self):
+        cipher = AES128(_SP800_KEY)
+        for i in range(4):
+            block = _SP800_PLAINTEXT[i * 16 : (i + 1) * 16]
+            expected = _SP800_ECB_CIPHERTEXT[i * 16 : (i + 1) * 16]
+            assert cipher.encrypt_block(block) == expected
+            assert cipher.decrypt_block(expected) == block
+
+    def test_sp800_38a_ecb_batched(self):
+        assert AES128(_SP800_KEY).encrypt_blocks(_SP800_PLAINTEXT) == (
+            _SP800_ECB_CIPHERTEXT
+        )
+
+    def test_sp800_38a_ctr_full_sequence(self):
+        keystream = aes_ctr_keystream(AES128(_SP800_KEY), _SP800_CTR_COUNTER, 64)
+        ciphertext = bytes(a ^ b for a, b in zip(_SP800_PLAINTEXT, keystream))
+        assert ciphertext == _SP800_CTR_CIPHERTEXT
+
+    def test_rfc4493_subkeys(self):
+        k1, k2 = _subkeys(_SP800_KEY)
+        assert k1.to_bytes(16, "big") == bytes.fromhex(
+            "fbeed618357133667c85e08f7236a8de"
+        )
+        assert k2.to_bytes(16, "big") == bytes.fromhex(
+            "f7ddac306ae266ccf90bc11ee46d513b"
+        )
+
+    def test_ts35207_test_set_1(self):
+        mil = Milenage(
+            bytes.fromhex("465b5ce8b199b49faa5f0a2ee238a6bc"),
+            op=bytes.fromhex("cdc202d5123e20f62b6d676ac72cb318"),
+        )
+        rand = bytes.fromhex("23553cbe9637a89d218ae64dae47bf35")
+        assert mil.opc == bytes.fromhex("cd63cb71954a9f4e48a5994e37a02baf")
+        assert mil.f1(
+            rand, bytes.fromhex("ff9bb4d0b607"), bytes.fromhex("b9b9")
+        ) == bytes.fromhex("4a9ffac354dfafb3")
+        assert mil.f2(rand) == bytes.fromhex("a54211d5e3ba50bf")
+        assert mil.f3(rand) == bytes.fromhex("b40ba9a3c58b2a05bbf0d987b21bf8cb")
+        assert mil.f5(rand) == bytes.fromhex("aa689c648370")
+
+
+# ----------------------------------------------------------------------
+# Bit-exactness vs the frozen pre-optimization reference.
+# ----------------------------------------------------------------------
+
+_keys = st.binary(min_size=16, max_size=16)
+_blocks = st.binary(min_size=16, max_size=16)
+
+
+class TestReferenceEquivalence:
+    def test_reference_reproduces_published_vectors(self):
+        """Sanity-check the embedded reference before trusting it."""
+        ref = _RefAes(_SP800_KEY)
+        assert ref.encrypt_block(_SP800_PLAINTEXT[:16]) == _SP800_ECB_CIPHERTEXT[:16]
+        assert ref.decrypt_block(_SP800_ECB_CIPHERTEXT[:16]) == _SP800_PLAINTEXT[:16]
+        assert _ref_cmac(_SP800_KEY, b"") == bytes.fromhex(
+            "bb1d6929e95937287fa37d129b756746"
+        )
+
+    @given(key=_keys, block=_blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_aes_encrypt_matches_reference(self, key, block):
+        assert AES128(key).encrypt_block(block) == _RefAes(key).encrypt_block(block)
+
+    @given(key=_keys, block=_blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_aes_decrypt_matches_reference(self, key, block):
+        assert AES128(key).decrypt_block(block) == _RefAes(key).decrypt_block(block)
+
+    @given(key=_keys, message=st.binary(max_size=96))
+    @settings(max_examples=40, deadline=None)
+    def test_cmac_matches_reference(self, key, message):
+        assert aes_cmac(key, message) == _ref_cmac(key, message)
+
+    @given(key=_keys, counter=_blocks, length=st.integers(min_value=1, max_value=80))
+    @settings(max_examples=40, deadline=None)
+    def test_ctr_keystream_matches_reference(self, key, counter, length):
+        assert aes_ctr_keystream(AES128(key), counter, length) == (
+            _ref_ctr_keystream(key, counter, length)
+        )
+
+    @given(
+        key=_keys,
+        count=st.integers(min_value=0, max_value=2**32 - 1),
+        bearer=st.integers(min_value=0, max_value=31),
+        direction=st.integers(min_value=0, max_value=1),
+        payload=st.binary(min_size=1, max_size=64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_eea2_eia2_match_reference_composition(
+        self, key, count, bearer, direction, payload
+    ):
+        header = bytearray(16)
+        header[0:4] = count.to_bytes(4, "big")
+        header[4] = (bearer << 3) | (direction << 2)
+        expected_ct = bytes(
+            a ^ b
+            for a, b in zip(
+                payload, _ref_ctr_keystream(key, bytes(header), len(payload))
+            )
+        )
+        assert eea2_encrypt(key, count, bearer, direction, payload) == expected_ct
+
+        mac_header = bytes(header[:8])
+        assert eia2_mac(key, count, bearer, direction, payload) == (
+            _ref_cmac(key, mac_header + payload)[:4]
+        )
+
+    @given(
+        k=_keys,
+        op=_keys,
+        rand=_blocks,
+        sqn=st.binary(min_size=6, max_size=6),
+        amf=st.binary(min_size=2, max_size=2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_milenage_matches_reference(self, k, op, rand, sqn, amf):
+        opt = Milenage(k, op=op)
+        ref = _RefMilenage(k, op)
+        assert opt.opc == ref.opc
+        assert opt.f1(rand, sqn, amf) == ref.f1(rand, sqn, amf)
+        assert opt.f2(rand) == ref.f2(rand)
+        assert opt.f3(rand) == ref.f3(rand)
+        assert opt.f5(rand) == ref.f5(rand)
+        assert opt.f5_star(rand) == ref.f5_star(rand)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
