@@ -1,0 +1,154 @@
+"""End-to-end scenario throughput → ``BENCH_scenarios.json``.
+
+Measures what PR 5's run-length control actually buys on the Table 4
+suite: scenarios/sec with quiescence-aware termination (the default)
+vs the full-horizon reference (``REPRO_FULL_HORIZON=1``), plus the
+work-stealing pool at 4 workers. Elided-event totals are recorded next
+to the rates so every speedup is auditable — a rate jump with zero
+elision would mean the clock is lying, not the kernel quiescing.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py           # full
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick   # CI smoke
+
+Regression gate (CI perf-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick \
+        --check BENCH_scenarios.json --tolerance 0.30
+
+``--check`` compares each measured rate against the committed baseline
+and exits non-zero when any metric regressed by more than the
+tolerance. Rates well above baseline never fail: only slowdowns gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import table4  # noqa: E402
+from repro.fleet import FleetRunner  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_scenarios.json"
+
+
+# Quick and full mode run the SAME 66-task suite — rates must stay
+# comparable to the committed baseline regardless of which mode wrote
+# it. Quick only trims timing repetitions on the sub-second configs.
+SUITE_RUNS = 8
+
+
+def _run_suite(workers: int, full_horizon: bool, reps: int) -> dict:
+    """Timed passes over the Table 4 suite; returns rate metadata.
+
+    The quiescent configs finish the whole suite in well under a
+    second, where process-level noise swamps a single measurement, so
+    they are repeated ``reps`` times and rated over the total.
+    """
+    plan = table4.fleet_plan(runs=SUITE_RUNS, seed=4000, shard_size=2)
+    previous = os.environ.pop("REPRO_FULL_HORIZON", None)
+    if full_horizon:
+        os.environ["REPRO_FULL_HORIZON"] = "1"
+    try:
+        seconds = 0.0
+        for _ in range(reps):
+            started = time.perf_counter()
+            report = FleetRunner(plan, workers=workers).run()
+            seconds += time.perf_counter() - started
+    finally:
+        os.environ.pop("REPRO_FULL_HORIZON", None)
+        if previous is not None:
+            os.environ["REPRO_FULL_HORIZON"] = previous
+    if not report.complete:
+        raise RuntimeError(f"failed shards: {sorted(report.failed_shards)}")
+    tasks = len(report.records)
+    return {
+        "n": tasks * reps,
+        "tasks": tasks,
+        "seconds": round(seconds, 4),
+        "rate": round(tasks * reps / seconds, 2),
+        "unit": "scenarios/s",
+        "workers": workers,
+        "elided_events": report.elided_events,
+        "quiesced_runs": sum(
+            1 for r in report.records if r.get("elided_events", 0) > 0),
+    }
+
+
+def run_benches(quick: bool) -> dict:
+    metrics = {}
+    for name, workers, full_horizon, reps in (
+        ("full_horizon_w1", 1, True, 1),
+        ("quiescent_w1", 1, False, 3 if quick else 6),
+        ("quiescent_w4", 4, False, 2 if quick else 3),
+    ):
+        metrics[name] = _run_suite(workers, full_horizon, reps)
+        print(f"{name:>18}: {metrics[name]['rate']:>10,.1f} scenarios/s  "
+              f"(elided {metrics[name]['elided_events']:,} events in "
+              f"{metrics[name]['quiesced_runs']}/{metrics[name]['tasks']}"
+              " runs)")
+
+    # The headline ratio, stored as a metric so --check gates it too:
+    # quiescence must keep buying at least its baseline multiple.
+    speedup = round(
+        metrics["quiescent_w1"]["rate"] / metrics["full_horizon_w1"]["rate"], 2)
+    metrics["quiescence_speedup"] = {"rate": speedup, "unit": "x full-horizon"}
+    print(f"{'quiescence_speedup':>18}: {speedup:>10,.2f}x full-horizon")
+    return {"quick": quick, "suite": "table4", "runs": SUITE_RUNS,
+            "cpu_count": os.cpu_count(), "metrics": metrics}
+
+
+def check_regression(report: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, measured in report["metrics"].items():
+        base = baseline.get("metrics", {}).get(name)
+        if base is None or not base.get("rate"):
+            continue
+        ratio = measured["rate"] / base["rate"]
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+        print(f"{name:>18}: {ratio:6.2f}x baseline  [{status}]")
+        if ratio < 1.0 - tolerance:
+            failures.append((name, ratio))
+    if failures:
+        print(f"\nperf regression: {len(failures)} metric(s) below "
+              f"{1.0 - tolerance:.0%} of baseline: "
+              + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures))
+        return 1
+    print("\nperf smoke ok: no metric regressed beyond tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced suite size (CI smoke)")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a baseline JSON instead of "
+                             "overwriting it; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional slowdown vs baseline "
+                             "(default 0.30)")
+    parser.add_argument("--out", default=str(BENCH_PATH),
+                        help="output path for the measured rates")
+    args = parser.parse_args(argv)
+
+    report = run_benches(quick=args.quick)
+    if args.check is not None:
+        return check_regression(report, Path(args.check), args.tolerance)
+    Path(args.out).write_text(
+        json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

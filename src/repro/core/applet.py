@@ -130,6 +130,21 @@ class SeedApplet(Applet):
         self.rooted = rooted
         self.recorder.rooted = rooted
 
+    @property
+    def busy(self) -> bool:
+        """A decision, congestion retry, or learning trial is in flight.
+
+        Used by the testbed's quiescence predicate: while busy, the
+        applet may still execute resets, record learning outcomes, or
+        request an OTA flush, so the run must not stop early.
+        """
+        return (
+            self._pending is not None
+            or self._congestion_retry is not None
+            or self._ol_action is not None
+            or bool(self._ol_queue)
+        )
+
     # ------------------------------------------------------------------
     # APDU dispatch
     # ------------------------------------------------------------------

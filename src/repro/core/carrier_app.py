@@ -68,6 +68,11 @@ class SeedCarrierApp:
         if host.detect_root():
             self.sim.call_soon(self._enable_root_mode, label="seedapp:root")
 
+    @property
+    def idle(self) -> bool:
+        """No escort fast-reset sequence in flight (quiescence input)."""
+        return self._escort_pending is None
+
     # ------------------------------------------------------------------
     # Public failure-report API (paper §4.3.2)
     # ------------------------------------------------------------------

@@ -99,6 +99,17 @@ class SeedCorePlugin:
             self._uplinks[supi] = receiver
         return receiver
 
+    def downlinks_idle(self) -> bool:
+        """No diagnosis fragment queued or awaiting an ACK, any UE.
+
+        Used by the testbed's quiescence predicate: an in-flight
+        downlink can still trigger SIM-side diagnosis and resets.
+        """
+        return all(
+            not state.queue and not state.awaiting_ack
+            for state in self._downlinks.values()
+        )
+
     # ------------------------------------------------------------------
     # Reject-path hook (AMF + SMF)
     # ------------------------------------------------------------------

@@ -107,17 +107,22 @@ class AndroidOs:
             return
         self._started = True
         self.sim.schedule(self.timers.validation_interval, self._validation_tick,
-                          label="android:validate")
+                          label="android:validate", maintenance=True)
         self.sim.schedule(self.timers.evaluation_interval, self._evaluation_tick,
-                          label="android:evaluate")
+                          label="android:evaluate", maintenance=True)
         self.sim.schedule(self.timers.dns_probe_interval, self._dns_probe_tick,
-                          label="android:dns-probe")
+                          label="android:dns-probe", maintenance=True)
 
     # -- captive portal validation ----------------------------------------
+    # The periodic ticks are maintenance timers: they re-arm themselves
+    # forever, and their probe/query children inherit the maintenance
+    # taint. Detector *reactions* (stall reports, ladder rungs) run as
+    # callbacks of those children and are covered by the testbed's
+    # settledness predicate, not by event classification.
     def _validation_tick(self) -> None:
         self.prober.probe(self._on_probe_outcome)
         self.sim.schedule(self.timers.validation_interval, self._validation_tick,
-                          label="android:validate")
+                          label="android:validate", maintenance=True)
 
     def _on_probe_outcome(self, outcome) -> None:
         if outcome.ok:
@@ -138,13 +143,13 @@ class AndroidOs:
         if self.dns.consecutive_timeouts() >= 5:
             self._report_stall(StallReason.DNS_TIMEOUTS)
         self.sim.schedule(self.timers.evaluation_interval, self._evaluation_tick,
-                          label="android:evaluate")
+                          label="android:evaluate", maintenance=True)
 
     def _dns_probe_tick(self) -> None:
         """The OS's own DNS health query (independent of app queries)."""
         self.dns.query("connectivitycheck.gstatic.com", self._on_dns_probe)
         self.sim.schedule(self.timers.dns_probe_interval, self._dns_probe_tick,
-                          label="android:dns-probe")
+                          label="android:dns-probe", maintenance=True)
 
     def _on_dns_probe(self, outcome) -> None:
         del outcome  # outcome already lands in dns.history for detection
@@ -200,6 +205,34 @@ class AndroidOs:
         self._schedule_rung(rung + 1)
 
     # ------------------------------------------------------------------
+    def detectors_quiet(self, window: float = 60.0) -> bool:
+        """No stall handling in flight and no detector primed to trip.
+
+        Part of the testbed's quiescence predicate. Beyond the current
+        state being green, this guarantees *future* evaluation ticks
+        stay green on today's data: any failed TCP attempt still inside
+        the sliding window could push ``failure_rate`` over 0.8 at a
+        later tick once older successes age out, so the window must be
+        failure-free before the run may stop early.
+        """
+        if self.stall_active or self._probe_failures > 0:
+            return False
+        if self._ladder_event is not None and self._ladder_event.pending:
+            return False
+        if self.dns.consecutive_timeouts() >= 5:
+            return False
+        now = self.sim.now
+        stats = self.tcp.stats
+        cutoff = now - window
+        for t, ok in reversed(stats.attempts):
+            if t < cutoff:
+                break
+            if not ok:
+                return False
+        if stats.outbound_without_inbound(now):
+            return False
+        return True
+
     def detection_latency(self, failure_onset: float) -> float | None:
         """Time from ``failure_onset`` to the first stall report after it."""
         for event in self.stalls:

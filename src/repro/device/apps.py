@@ -120,8 +120,12 @@ class App:
     def _schedule_next(self) -> None:
         if not self.running:
             return
+        # The nominal cadence is maintenance churn; the exchange's
+        # transport children inherit the taint. Failure retries are
+        # scheduled from those children, so they are tainted too — the
+        # meter's settled() predicate (quiet()) covers them instead.
         self.sim.schedule_fire(self.profile.interval, self._do_exchange,
-                               label=self._event_label)
+                               label=self._event_label, maintenance=True)
 
     # ------------------------------------------------------------------
     def _do_exchange(self) -> None:
@@ -237,6 +241,20 @@ class App:
                 address = self.profile.server
             self.reports_sent.append((now, failure_type))
             self.report_api(failure_type, direction, address)
+
+    # ------------------------------------------------------------------
+    def quiet(self) -> bool:
+        """No open disruption, no failure episode, no retry in flight.
+
+        Part of the testbed's quiescence predicate: an app is quiet when
+        stopping the run now cannot change its disruption record or
+        trigger a pending SEED report.
+        """
+        return (
+            self._open_disruption is None
+            and self.consecutive_failures == 0
+            and not self._retry_pending
+        )
 
     # ------------------------------------------------------------------
     def perceived_disruption_total(self) -> float:

@@ -24,7 +24,7 @@ from typing import Callable
 from repro.device import at as at_cmds
 from repro.infra.gnb import Gnb
 from repro.nas.causes import MM_CAUSES, Plane, SM_CAUSES
-from repro.nas.fsm import RegistrationFsm, SessionFsm, SmState
+from repro.nas.fsm import RegistrationFsm, RmState, SessionFsm, SmState
 from repro.nas.messages import (
     AuthenticationFailure,
     AuthenticationRequest,
@@ -169,6 +169,38 @@ class Modem:
 
     def active_sessions(self) -> list[ModemSession]:
         return [s for s in self.sessions.values() if s.active]
+
+    @staticmethod
+    def _no_pending(event) -> bool:
+        return event is None or not event.pending
+
+    def procedures_idle(self) -> bool:
+        """True when no NAS procedure or retry is in flight.
+
+        Part of the testbed's quiescence predicate: stopping a run in
+        this state cannot cut off a registration/session procedure, a
+        deferred setup, or a scheduled legacy retry whose outcome the
+        full-horizon run would observe.
+        """
+        if not self.powered or self.sim.now < self.busy_until:
+            return False
+        if self.reg_fsm.state not in (RmState.REGISTERED, RmState.DEREGISTERED):
+            return False
+        if self._pending_setup:
+            return False
+        if not (self._no_pending(self._reg_guard)
+                and self._no_pending(self._retry_event)):
+            return False
+        for guard in self._session_guards.values():
+            if not self._no_pending(guard):
+                return False
+        for fsm in self._session_fsms.values():
+            if fsm.state not in (SmState.ACTIVE, SmState.INACTIVE):
+                return False
+        for session in self.sessions.values():
+            if session.desired and not session.active:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Registration (with legacy retry)

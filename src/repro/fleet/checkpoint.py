@@ -74,11 +74,18 @@ class Checkpoint:
                 if not line:
                     continue
                 try:
-                    entries.append(json.loads(line))
+                    entry = json.loads(line)
                 except json.JSONDecodeError:
                     # Torn tail line from a killed writer: drop it; the
                     # shard has no ok-record so it will simply re-run.
                     continue
+                if (not isinstance(entry, dict) or "shard_id" not in entry
+                        or "status" not in entry):
+                    # A torn tail can still parse as valid JSON (e.g.
+                    # the line was cut inside a value that happens to
+                    # close cleanly). Same treatment: drop and re-run.
+                    continue
+                entries.append(entry)
         return entries
 
     def completed(self) -> dict[int, dict]:

@@ -34,6 +34,10 @@ class FleetReport:
     executed_shards: int = 0
     skipped_shards: int = 0
     wall_seconds: float = 0.0
+    # Total heap events discarded by quiescent termination across all
+    # records — the audit trail for run-length-control speedups. Like
+    # wall_seconds it never enters the deterministic aggregate.
+    elided_events: int = 0
 
     @property
     def complete(self) -> bool:

@@ -1,4 +1,4 @@
-"""Sharded execution over a multiprocessing worker pool.
+"""Sharded execution over a work-stealing multiprocessing pool.
 
 ``execute_plan`` runs every shard of a :class:`FleetPlan` through a
 shard function (by default :func:`repro.fleet.worker.run_shard`),
@@ -10,9 +10,18 @@ outcomes, and re-queues failures until their attempt budget
 the executor) therefore costs one attempt for the shards of that round
 and a fresh executor for the next — never the run.
 
+Within a round, shards are scheduled by **work stealing**: the round's
+shards are ordered longest-first by the planner's deterministic cost
+heuristic (:func:`repro.fleet.planner.steal_order`), split into
+fine-grained batches of guided-self-scheduling sizes, and all batches
+are submitted up front. The executor's shared call queue *is* the
+steal queue — an idle worker pulls the next batch the moment it drains
+its current one, so a straggler shard never leaves the other workers
+parked the way static per-worker chunking did.
+
 Results are keyed by ``shard_id`` and returned sorted, so downstream
-aggregation sees the same sequence no matter how the pool interleaved
-the work.
+aggregation sees the same sequence no matter which worker stole which
+batch.
 """
 
 from __future__ import annotations
@@ -24,10 +33,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.fleet.checkpoint import Checkpoint
-from repro.fleet.planner import FleetPlan
+from repro.fleet.planner import FleetPlan, steal_order
 from repro.fleet.worker import run_shard
 
 log = logging.getLogger(__name__)
+
+# Guided self-scheduling divisor: each batch takes ceil(remaining /
+# (workers * FACTOR)) shards. 2 front-loads large batches (amortising
+# per-task pickling/IPC) while leaving a tail of single-shard batches
+# that backfill stragglers.
+_GSS_FACTOR = 2
 
 
 @dataclass
@@ -60,9 +75,10 @@ def execute_plan(
     payloads = {s.shard_id: s.to_json() for s in plan.shards}
     pending = {sid: 0 for sid in payloads if sid not in outcome.results}
     max_attempts = 1 + max(0, retries)
+    queue_order = steal_order(plan.shards)
 
     while pending:
-        round_ids = sorted(pending)
+        round_ids = [sid for sid in queue_order if sid in pending]
         round_outcomes = _run_round(shard_fn, payloads, round_ids, workers)
         for sid, result, error in round_outcomes:
             pending[sid] += 1
@@ -102,15 +118,29 @@ def _run_shard_chunk(shard_fn, chunk) -> list[tuple[int, dict | None, str | None
 
     Module-level (picklable) by fleet-safety contract. Exceptions are
     captured per shard, so one failing shard costs itself an attempt,
-    not its chunk-mates.
+    not its batch-mates.
     """
     return [(sid, *_attempt_inline(shard_fn, payload)) for sid, payload in chunk]
 
 
-def _chunk(round_ids: list[int], workers: int) -> list[list[int]]:
-    """Split a round into at most ``workers`` contiguous id batches."""
-    size = max(1, -(-len(round_ids) // max(1, workers)))
-    return [round_ids[i : i + size] for i in range(0, len(round_ids), size)]
+def _batches(round_ids: list[int], workers: int) -> list[list[int]]:
+    """Split a round into guided-self-scheduling batches.
+
+    Batch ``k`` takes ``ceil(remaining / (workers * _GSS_FACTOR))``
+    shards from the front of the (longest-first) queue, so sizes
+    decrease geometrically down to 1. Early batches stay big enough to
+    amortise dispatch cost; the single-shard tail gives the steal queue
+    fine granularity exactly when load imbalance matters — at the end
+    of the round.
+    """
+    divisor = max(1, workers) * _GSS_FACTOR
+    batches = []
+    index, total = 0, len(round_ids)
+    while index < total:
+        size = max(1, -(-(total - index) // divisor))
+        batches.append(round_ids[index:index + size])
+        index += size
+    return batches
 
 
 def _run_round(
@@ -118,19 +148,20 @@ def _run_round(
 ) -> Iterator[tuple[int, dict | None, str | None]]:
     """One submission round, yielding each outcome as it resolves.
 
-    Shards are submitted in *chunks* — one batch of shards per worker
-    task — rather than one future per shard, so the per-task pickling,
-    dispatch, and result-IPC cost is paid per chunk, not per shard
-    (one-future-per-shard made 4 workers slower than 1 on small
-    shards). Outcomes are yielded as each chunk resolves (completion
-    order when pooled), so the caller can checkpoint every result the
-    moment it exists — a killed run keeps every shard that finished
-    before the kill, not just completed rounds.
+    All batches of the round are submitted up front; the executor's
+    shared call queue acts as the steal queue, so each worker pulls the
+    next pending batch the moment it finishes its current one. With
+    ``round_ids`` in LPT order the long shards start first and the
+    short tail backfills whichever worker frees up — completion order
+    varies, results do not. Outcomes are yielded as each batch
+    resolves, so the caller can checkpoint every result the moment it
+    exists — a killed run keeps every shard that finished before the
+    kill, not just completed rounds.
 
     The executor lives for exactly one round: if a worker dies and
     breaks the pool, every future of the round resolves (some with
     ``BrokenProcessPool``), the broken executor is discarded, and the
-    next round starts clean. A broken chunk future costs each of its
+    next round starts clean. A broken batch future costs each of its
     shards one attempt.
     """
     if workers <= 1:
@@ -142,7 +173,7 @@ def _run_round(
             pool.submit(
                 _run_shard_chunk, shard_fn, [(sid, payloads[sid]) for sid in ids]
             ): ids
-            for ids in _chunk(round_ids, workers)
+            for ids in _batches(round_ids, workers)
         }
         for future in as_completed(futures):
             ids = futures[future]

@@ -78,4 +78,5 @@ class FleetRunner:
             executed_shards=outcome.executed,
             skipped_shards=outcome.skipped,
             wall_seconds=wall,
+            elided_events=sum(r.get("elided_events", 0) for r in records),
         )

@@ -46,6 +46,10 @@ def run_task(task: TaskSpec) -> tuple[dict, dict]:
         "timed": result.timed,
         "notified_user": result.notified_user,
         "handled": result.timed and result.recovered,
+        # Heap entries discarded by quiescent termination (0 under
+        # REPRO_FULL_HORIZON). Audit data only: the aggregator reads
+        # known keys, so this never enters aggregate.json.
+        "elided_events": result.meta.get("elided_events", 0),
     }
     return record, testbed.learning_records()
 

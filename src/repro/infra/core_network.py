@@ -46,10 +46,10 @@ class CoreNetwork:
             self.engine, self.upf, self.nms, self.cpu,
         )
         self.gnb.attach_core(self._route_uplink)
-        self.amf.cleanup_hook = self._purge_sessions
+        self.amf.cleanup_hook = self.purge_sessions
         self.seed_plugin = None  # set by repro.core.plugin when deployed
 
-    def _purge_sessions(self, supi: str) -> None:
+    def purge_sessions(self, supi: str) -> None:
         """Release all user-plane state for a (re)registering UE."""
         purged = False
         for ctx in self.upf.active_sessions(supi):
@@ -60,6 +60,10 @@ class CoreNetwork:
             # Tearing sessions down flushes stale gateway state, so
             # reattach-style recoveries clear session-reset failures.
             self.engine.note_session_reset(supi)
+
+    def _purge_sessions(self, supi: str) -> None:
+        """Deprecated alias of :meth:`purge_sessions` (pre-PR-5 name)."""
+        self.purge_sessions(supi)
 
     def _route_uplink(self, supi: str, message: NasMessage) -> None:
         self.nms.note_ran_event()

@@ -95,6 +95,7 @@ class ActiveFailure:
     cleared_by: ClearTrigger | None = None
     retry_seen: bool = False
     hits: int = 0  # procedures that ran into this failure
+    clear_event: object = None  # pending AFTER_DURATION timer, if any
 
     def applies_to(self, supi: str) -> bool:
         return not self.cleared and (not self.spec.supi or self.spec.supi == supi)
@@ -116,7 +117,7 @@ class FailureEngine:
         self.active.append(failure)
         self.history.append(failure)
         if ClearTrigger.AFTER_DURATION in spec.clear_triggers and spec.duration > 0:
-            self.sim.schedule(
+            failure.clear_event = self.sim.schedule(
                 spec.duration,
                 self._clear,
                 failure,
@@ -128,6 +129,11 @@ class FailureEngine:
     def _clear(self, failure: ActiveFailure, trigger: ClearTrigger) -> None:
         if failure.cleared:
             return
+        # An earlier trigger beat the ambient timer: cancel it so a
+        # long-dated dead timer does not hold off quiescence.
+        if failure.clear_event is not None:
+            failure.clear_event.cancel()
+            failure.clear_event = None
         failure.cleared = True
         failure.cleared_at = self.sim.now
         failure.cleared_by = trigger

@@ -26,6 +26,9 @@ DET_RNG_SCOPE = DET_SCOPE + ("traces",)
 DET_ORDER_SCOPE = ("core", "fleet")
 #: Memoization rules also cover the crypto kernels (PR 4 hot paths).
 DET_CACHE_SCOPE = DET_SCOPE + ("crypto",)
+#: Maintenance-timer purity covers everywhere such timers are armed:
+#: the kernel's own samplers plus the device/testbed periodic loops.
+DET_TIMER_SCOPE = DET_SCOPE + ("device", "testbed")
 
 # Wall-clock / entropy reads that make reruns diverge. Matched as
 # dotted-name suffixes so both ``datetime.now`` and
@@ -264,3 +267,162 @@ def det005_unsafe_memoization(module: Module) -> Iterator[Finding]:
                     f"annotated as a pure immutable key (bytes/int/str/bool); "
                     f"cache hits could alias mutable or identity-keyed state",
                 )
+
+
+# ---------------------------------------------------------------------------
+# DET006 — maintenance-timer purity
+# ---------------------------------------------------------------------------
+# Quiescent termination (PR 5) discards every pending maintenance event
+# when the run settles. That is only sound if a maintenance timer is
+# pure steady-state churn: a bound method of the arming object that
+# keeps re-arming itself with ``maintenance=True`` and mutates no state
+# outside its own object. A maintenance tick that wrote into a foreign
+# object could make the elided tail observable — the exact divergence
+# the flag exists to rule out.
+
+def _is_maint_schedule(node: ast.Call) -> bool:
+    dotted = call_name(node)
+    if dotted is None:
+        return False
+    tail = dotted.rpartition(".")[2]
+    if tail not in ("schedule", "schedule_fire"):
+        return False
+    flag = keyword_arg(node, "maintenance")
+    return isinstance(flag, ast.Constant) and flag.value is True
+
+
+def _self_method(expr: ast.expr) -> str | None:
+    """The method name of a ``self.<name>`` expression, else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _store_roots(fn: ast.AST) -> Iterator[tuple[ast.AST, ast.expr]]:
+    """(statement, store-target) pairs for attribute/subscript stores."""
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            stack = [target]
+            while stack:
+                item = stack.pop()
+                if isinstance(item, (ast.Tuple, ast.List)):
+                    stack.extend(item.elts)
+                elif isinstance(item, ast.Starred):
+                    stack.append(item.value)
+                elif isinstance(item, (ast.Attribute, ast.Subscript)):
+                    yield node, item
+
+
+def _foreign_store(fn: ast.AST) -> ast.AST | None:
+    """First statement storing through a root other than ``self``."""
+    for statement, target in _store_roots(fn):
+        root: ast.expr = target
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if not (isinstance(root, ast.Name) and root.id == "self"):
+            return statement
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            return node
+    return None
+
+
+def _rearms(fn: ast.AST, arming_methods: set[str]) -> bool:
+    """Does ``fn`` re-arm a maintenance timer, directly or via a
+    ``self.<helper>()`` call to a method that does?"""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_maint_schedule(node):
+            return True
+        helper = _self_method(node.func)
+        if helper is not None and helper in arming_methods:
+            return True
+    return False
+
+
+@rule(
+    "DET006",
+    "maintenance=True timers must be pure self-rescheduling: the "
+    "callback is a bound method of the arming object that re-arms with "
+    "maintenance=True and writes no state outside self",
+    scope=DET_TIMER_SCOPE,
+)
+def det006_maintenance_purity(module: Module) -> Iterator[Finding]:
+    handled: set[int] = set()
+    for class_node in ast.walk(module.tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in class_node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        arming_methods = {
+            name for name, fn in methods.items()
+            if any(
+                isinstance(node, ast.Call) and _is_maint_schedule(node)
+                for node in ast.walk(fn)
+            )
+        }
+        for fn in methods.values():
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Call) and _is_maint_schedule(node)):
+                    continue
+                handled.add(id(node))
+                callback = node.args[1] if len(node.args) >= 2 else None
+                method_name = _self_method(callback) if callback is not None else None
+                if method_name is None:
+                    yield Finding(
+                        module.path, node.lineno, node.col_offset, "DET006",
+                        "maintenance timer callback must be a bound "
+                        "self.<method> of the arming object, so the elided "
+                        "tail stays inside one subsystem",
+                    )
+                    continue
+                tick = methods.get(method_name)
+                if tick is None:
+                    yield Finding(
+                        module.path, node.lineno, node.col_offset, "DET006",
+                        f"maintenance timer callback self.{method_name} is "
+                        f"not defined on {class_node.name}; its purity "
+                        f"cannot be verified",
+                    )
+                    continue
+                if not _rearms(tick, arming_methods):
+                    yield Finding(
+                        module.path, tick.lineno, tick.col_offset, "DET006",
+                        f"maintenance tick {class_node.name}.{method_name}() "
+                        f"never re-arms with maintenance=True; a one-shot "
+                        f"action is substantive work and must not carry the "
+                        f"maintenance flag",
+                    )
+                offender = _foreign_store(tick)
+                if offender is not None:
+                    yield Finding(
+                        module.path, offender.lineno, offender.col_offset,
+                        "DET006",
+                        f"maintenance tick {class_node.name}.{method_name}() "
+                        f"writes state outside self; eliding it at quiescence "
+                        f"would change observable state",
+                    )
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and _is_maint_schedule(node)
+            and id(node) not in handled
+        ):
+            yield Finding(
+                module.path, node.lineno, node.col_offset, "DET006",
+                "maintenance timer armed outside a class method; the "
+                "callback cannot be verified as pure self-rescheduling",
+            )

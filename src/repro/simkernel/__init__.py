@@ -14,7 +14,7 @@ given a seed.
 """
 
 from repro.simkernel.events import Event, EventState
-from repro.simkernel.monitor import Monitor, TimeSeries
+from repro.simkernel.monitor import Monitor, PeriodicSampler, TimeSeries
 from repro.simkernel.process import Process, Sleep, Waiter
 from repro.simkernel.rng import RngStreams
 from repro.simkernel.simulator import Simulator
@@ -23,6 +23,7 @@ __all__ = [
     "Event",
     "EventState",
     "Monitor",
+    "PeriodicSampler",
     "Process",
     "RngStreams",
     "Simulator",

@@ -33,9 +33,18 @@ class Event:
 
     ``kwargs`` is ``None`` (not ``{}``) for the common no-keyword case,
     so scheduling does not allocate a throwaway dict per event.
+
+    ``maintenance`` marks steady-state periodic timers (probes,
+    heartbeats, cadence ticks) whose presence must not keep a
+    quiescence-aware run alive; ``sim`` back-references the owning
+    simulator so ``cancel()`` can keep its substantive-event counter
+    exact without waiting for the lazy heap discard.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "state", "label")
+    __slots__ = (
+        "time", "seq", "callback", "args", "kwargs", "state", "label",
+        "maintenance", "sim",
+    )
 
     def __init__(
         self,
@@ -45,6 +54,8 @@ class Event:
         args: tuple = (),
         kwargs: dict | None = None,
         label: str = "",
+        maintenance: bool = False,
+        sim: "Any" = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -53,6 +64,8 @@ class Event:
         self.kwargs = kwargs if kwargs else None
         self.state = EventState.PENDING
         self.label = label
+        self.maintenance = maintenance
+        self.sim = sim
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -77,6 +90,11 @@ class Event:
         if self.state is not EventState.PENDING:
             return False
         self.state = EventState.CANCELLED
+        # Keep the owning simulator's substantive count exact: a
+        # cancelled long timer (T3502, ladder rungs) must not delay
+        # quiescence until its heap entry is lazily discarded.
+        if not self.maintenance and self.sim is not None:
+            self.sim._substantive -= 1
         return True
 
     def fire(self) -> None:

@@ -114,3 +114,40 @@ class Monitor:
     def durations(self, kind: str) -> list[float]:
         """Durations of all *closed* intervals of ``kind``."""
         return [iv.duration for iv in self.intervals if iv.kind == kind and not iv.open]
+
+
+class PeriodicSampler:
+    """Maintenance-cadence sampling of a scalar into a monitor series.
+
+    The canonical "monitor cadence" timer: it samples ``source()`` into
+    ``monitor.series[name]`` every ``interval`` seconds and re-arms
+    itself, scheduled with ``maintenance=True`` so an armed sampler
+    never keeps a quiescence-aware run alive. The tick reads its source
+    and writes only its own series — the purity contract seedlint's
+    DET006 rule enforces for maintenance timers.
+    """
+
+    def __init__(self, monitor: Monitor, name: str, source, interval: float) -> None:
+        self.monitor = monitor
+        self.name = name
+        self.source = source
+        self.interval = interval
+        self.running = False
+        self._label = f"monitor:sample:{name}"
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.monitor.sim.schedule_fire(
+            self.interval, self._tick, label=self._label, maintenance=True)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self.monitor.sample(self.name, self.source())
+        self.monitor.sim.schedule_fire(
+            self.interval, self._tick, label=self._label, maintenance=True)

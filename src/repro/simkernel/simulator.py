@@ -13,11 +13,28 @@ inline — no per-event closures or re-peeking.
 
 Fire-and-forget callbacks (:meth:`Simulator.schedule_fire`) skip the
 :class:`Event` object entirely: they sit on the heap as
-``(time, seq, callback, args, label)`` 5-tuples. The unique ``seq``
+``(time, seq, callback, args, label)`` 5-tuples (or 6-tuples with a
+trailing ``True`` when the timer is maintenance). The unique ``seq``
 guarantees comparisons never reach the heterogeneous tail, and entry
-length distinguishes the two shapes at dispatch. Hot cadence paths
+length distinguishes the shapes at dispatch. Hot cadence paths
 (UPF reply delivery, app traffic ticks) use this to avoid one object
 allocation per event.
+
+Quiescence
+----------
+Every scheduled event is either *substantive* (default) or
+*maintenance* (``maintenance=True``): a steady-state periodic timer —
+connectivity probe cadence, monitor heartbeat, app keepalive — that
+would re-arm itself forever. The kernel keeps an exact count of
+pending substantive events; :meth:`run` accepts a ``quiesce_when``
+predicate and stops as soon as the heap holds only maintenance churn
+*and* the predicate confirms the model is settled. Events scheduled
+from inside a maintenance callback inherit the maintenance taint by
+default (``maintenance=None``), so a probe's own DNS/TCP child events
+do not look substantive; anything a callback schedules explicitly as
+``maintenance=False`` (or any event scheduled from substantive
+context) keeps the run alive. Elided events are counted per simulator
+(:attr:`elided_events`) so the speedup is auditable.
 """
 
 from __future__ import annotations
@@ -53,6 +70,7 @@ class Simulator:
 
     __slots__ = (
         "now", "rng", "_heap", "_seq", "_running", "_fired_count",
+        "_substantive", "_maint_ctx", "elided_events", "quiesced_at",
         "trace_enabled", "trace_log",
     )
 
@@ -60,12 +78,22 @@ class Simulator:
         self.now: float = 0.0
         self.rng = RngStreams(seed)
         #: (time, seq, event) triples or (time, seq, cb, args, label)
-        #: fire-and-forget 5-tuples; seq is unique so heap comparisons
-        #: never touch the heterogeneous tail.
+        #: fire-and-forget 5-tuples (6-tuples when maintenance); seq is
+        #: unique so heap comparisons never touch the heterogeneous tail.
         self._heap: list[tuple] = []
         self._seq = 0
         self._running = False
         self._fired_count = 0
+        #: Pending events that are NOT maintenance churn. Exact: kept in
+        #: sync at schedule, cancel, and dispatch time.
+        self._substantive = 0
+        #: True while dispatching a maintenance event; maintenance=None
+        #: schedules inherit this, propagating the taint to children.
+        self._maint_ctx = False
+        #: Pending events discarded by a quiescent stop, cumulative.
+        self.elided_events = 0
+        #: Simulation time of the last quiescent stop (None = none yet).
+        self.quiesced_at: float | None = None
         self.trace_enabled = trace
         self.trace_log: list[tuple[float, str]] = []
 
@@ -78,12 +106,18 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         label: str = "",
+        maintenance: bool | None = None,
         **kwargs: Any,
     ) -> Event:
         """Schedule ``callback(*args, **kwargs)`` after ``delay`` seconds.
 
         Returns the :class:`Event`, whose ``cancel()`` method may be
         used to revoke it (the idiom for protocol timers).
+
+        ``maintenance=True`` marks a steady-state periodic timer that
+        must not keep a quiescent run alive; the default ``None``
+        inherits the dispatch context (events scheduled while firing a
+        maintenance event are maintenance themselves).
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
@@ -92,7 +126,12 @@ class Simulator:
         # argument repacking of delegating is measurable.
         time = self.now + delay
         self._seq += 1
-        event = Event(time, self._seq, callback, args, kwargs, label=label)
+        if maintenance is None:
+            maintenance = self._maint_ctx
+        if not maintenance:
+            self._substantive += 1
+        event = Event(time, self._seq, callback, args, kwargs, label=label,
+                      maintenance=maintenance, sim=self)
         heappush(self._heap, (time, self._seq, event))
         return event
 
@@ -102,34 +141,54 @@ class Simulator:
         callback: Callable[..., Any],
         *args: Any,
         label: str = "",
+        maintenance: bool | None = None,
         **kwargs: Any,
     ) -> Event:
         """Schedule ``callback`` at an absolute simulation time."""
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
-        event = Event(time, self._seq, callback, args, kwargs, label=label)
+        if maintenance is None:
+            maintenance = self._maint_ctx
+        if not maintenance:
+            self._substantive += 1
+        event = Event(time, self._seq, callback, args, kwargs, label=label,
+                      maintenance=maintenance, sim=self)
         heappush(self._heap, (time, self._seq, event))
         return event
 
-    def call_soon(self, callback: Callable[..., Any], *args: Any, label: str = "", **kwargs: Any) -> Event:
+    def call_soon(
+        self, callback: Callable[..., Any], *args: Any, label: str = "",
+        maintenance: bool | None = None, **kwargs: Any,
+    ) -> Event:
         """Schedule ``callback`` at the current time (after current event)."""
-        return self.schedule(0.0, callback, *args, label=label, **kwargs)
+        return self.schedule(0.0, callback, *args, label=label,
+                             maintenance=maintenance, **kwargs)
 
     def schedule_fire(
-        self, delay: float, callback: Callable[..., Any], *args: Any, label: str = ""
+        self, delay: float, callback: Callable[..., Any], *args: Any,
+        label: str = "", maintenance: bool | None = None,
     ) -> None:
         """Fire-and-forget scheduling: no :class:`Event`, not cancellable.
 
         For hot cadence paths whose callbacks are never revoked; the
         callback sits on the heap as a bare tuple, saving one object
         allocation per event. Ordering and trace semantics are identical
-        to :meth:`schedule`.
+        to :meth:`schedule`. Maintenance entries carry a sixth ``True``
+        element so dispatch can restore the taint context.
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         self._seq += 1
-        heappush(self._heap, (self.now + delay, self._seq, callback, args, label))
+        if maintenance is None:
+            maintenance = self._maint_ctx
+        if maintenance:
+            heappush(self._heap,
+                     (self.now + delay, self._seq, callback, args, label, True))
+        else:
+            self._substantive += 1
+            heappush(self._heap,
+                     (self.now + delay, self._seq, callback, args, label))
 
     # ------------------------------------------------------------------
     # Execution
@@ -153,7 +212,13 @@ class Simulator:
                 if self.trace_enabled and event.label:
                     self.trace_log.append((time, event.label))
                 self._fired_count += 1
-                event.fire()
+                if not event.maintenance:
+                    self._substantive -= 1
+                self._maint_ctx = event.maintenance
+                try:
+                    event.fire()
+                finally:
+                    self._maint_ctx = False
                 return True
             if time < self.now:
                 raise SimulationError("event heap corrupted: time went backwards")
@@ -161,11 +226,23 @@ class Simulator:
             if self.trace_enabled and entry[4]:
                 self.trace_log.append((time, entry[4]))
             self._fired_count += 1
-            entry[2](*entry[3])
+            maint = len(entry) == 6
+            if not maint:
+                self._substantive -= 1
+            self._maint_ctx = maint
+            try:
+                entry[2](*entry[3])
+            finally:
+                self._maint_ctx = False
             return True
         return False
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        quiesce_when: Callable[[], bool] | None = None,
+    ) -> None:
         """Run events in time order.
 
         Parameters
@@ -176,6 +253,13 @@ class Simulator:
             so ``sim.now`` is predictable after the call.
         max_events:
             Safety valve for tests; raise if more events fire.
+        quiesce_when:
+            Optional settledness predicate. Once no substantive events
+            remain pending and the predicate returns True, the run
+            stops early: the remaining maintenance churn is discarded
+            (counted into :attr:`elided_events`) and the clock still
+            advances to ``until``, so all post-run reads observe the
+            same state they would at horizon end.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
@@ -184,44 +268,91 @@ class Simulator:
         trace = self.trace_enabled
         fired = 0
         try:
-            while heap:
-                entry = heap[0]
-                event = entry[2] if len(entry) == 3 else None
-                if event is not None and event.state is _CANCELLED:
+            if (
+                quiesce_when is not None
+                and self._substantive == 0
+                and quiesce_when()
+            ):
+                self._quiesce()
+            else:
+                while heap:
+                    entry = heap[0]
+                    event = entry[2] if len(entry) == 3 else None
+                    if event is not None and event.state is _CANCELLED:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    if until is not None and time > until:
+                        break
                     heappop(heap)
-                    continue
-                time = entry[0]
-                if until is not None and time > until:
-                    break
-                heappop(heap)
-                if time < self.now:
-                    raise SimulationError("event heap corrupted: time went backwards")
-                self.now = time
-                if event is not None:
-                    if trace and event.label:
-                        self.trace_log.append((time, event.label))
-                    # Inlined Event.fire(): the event was just popped
-                    # while PENDING (cancelled ones are filtered above),
-                    # so the state guard of fire() cannot trip here. The
-                    # fired count is a local, folded back in finally.
-                    event.state = _FIRED
-                    kwargs = event.kwargs
-                    if kwargs is not None:
-                        event.callback(*event.args, **kwargs)
+                    if time < self.now:
+                        raise SimulationError("event heap corrupted: time went backwards")
+                    self.now = time
+                    if event is not None:
+                        if trace and event.label:
+                            self.trace_log.append((time, event.label))
+                        # Inlined Event.fire(): the event was just popped
+                        # while PENDING (cancelled ones are filtered above),
+                        # so the state guard of fire() cannot trip here. The
+                        # fired count is a local, folded back in finally.
+                        event.state = _FIRED
+                        maint = event.maintenance
+                        if not maint:
+                            self._substantive -= 1
+                        self._maint_ctx = maint
+                        kwargs = event.kwargs
+                        if kwargs is not None:
+                            event.callback(*event.args, **kwargs)
+                        else:
+                            event.callback(*event.args)
                     else:
-                        event.callback(*event.args)
-                else:
-                    if trace and entry[4]:
-                        self.trace_log.append((time, entry[4]))
-                    entry[2](*entry[3])
-                fired += 1
-                if max_events is not None and fired > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
+                        if trace and entry[4]:
+                            self.trace_log.append((time, entry[4]))
+                        maint = len(entry) == 6
+                        if not maint:
+                            self._substantive -= 1
+                        self._maint_ctx = maint
+                        entry[2](*entry[3])
+                    self._maint_ctx = False
+                    fired += 1
+                    if max_events is not None and fired > max_events:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    if (
+                        quiesce_when is not None
+                        and self._substantive == 0
+                        and quiesce_when()
+                    ):
+                        self._quiesce()
+                        break
             if until is not None and self.now < until:
                 self.now = until
         finally:
+            self._maint_ctx = False
             self._fired_count += fired
             self._running = False
+
+    def _quiesce(self) -> None:
+        """Discard the remaining (maintenance-only) heap, with accounting."""
+        elided = 0
+        for entry in self._heap:
+            if len(entry) != 3 or entry[2].state is _PENDING:
+                elided += 1
+        self.elided_events += elided
+        self._heap.clear()
+        self._substantive = 0
+        self.quiesced_at = self.now
+
+    def run_quiescent(
+        self, until: float, predicate: Callable[[], bool]
+    ) -> int:
+        """Run to ``until`` or to quiescence, whichever comes first.
+
+        Returns the number of events elided by this call (0 when the
+        run reached ``until`` without quiescing).
+        """
+        before = self.elided_events
+        self.run(until=until, quiesce_when=predicate)
+        return self.elided_events - before
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Drain the queue completely (bounded by ``max_events``)."""
@@ -237,6 +368,11 @@ class Simulator:
             1 for entry in self._heap
             if len(entry) != 3 or entry[2].state is _PENDING
         )
+
+    @property
+    def substantive_pending(self) -> int:
+        """Pending non-maintenance events (exact, O(1))."""
+        return self._substantive
 
     @property
     def fired_events(self) -> int:

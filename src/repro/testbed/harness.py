@@ -12,6 +12,7 @@ testbed.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 
 from repro.core.deploy import SeedDeployment, deploy_seed
@@ -150,7 +151,7 @@ class Testbed:
         modem = self.device.modem
         modem.tracking_area += 1
         self.core.amf.force_deregister(self.device.supi)
-        self.core._purge_sessions(self.device.supi)
+        self.core.purge_sessions(self.device.supi)
         modem._abort_all_procedures()
         modem.start_registration()
 
@@ -161,7 +162,7 @@ class Testbed:
         hits the latent data-plane failure."""
         modem = self.device.modem
         self.core.amf.force_deregister(self.device.supi)
-        self.core._purge_sessions(self.device.supi)
+        self.core.purge_sessions(self.device.supi)
         modem._abort_all_procedures()
         modem.start_registration()
 
@@ -172,7 +173,8 @@ class Testbed:
         instance = scenario.build(self)
         if horizon is None:
             horizon = HORIZONS[scenario.failure_class]
-        self.meter = DisruptionMeter(self.sim, self.core, self.device, instance.target)
+        self.meter = DisruptionMeter(self.sim, self.core, self.device,
+                                     instance.target, deployment=self.deployment)
 
         if scenario.failure_class is FailureClass.CONTROL_PLANE:
             self.trigger_mobility()
@@ -188,7 +190,19 @@ class Testbed:
                 instance.user_action_at, self._user_action, label="scenario:user-action"
             )
 
-        self.sim.run(until=self.sim.now + horizon)
+        # Quiescence-aware termination: stop as soon as the heap holds
+        # only maintenance churn and the meter confirms the model is
+        # settled. The kernel advances the clock to the horizon either
+        # way, so every post-run read (censored durations, open
+        # disruptions, battery integration) sees identical state.
+        # REPRO_FULL_HORIZON=1 forces the old burn-the-horizon behavior
+        # (used by the parity tests as the reference).
+        end = self.sim.now + horizon
+        if os.environ.get("REPRO_FULL_HORIZON") == "1":
+            self.sim.run(until=end)
+            elided = 0
+        else:
+            elided = self.sim.run_quiescent(end, self.meter.settled)
         for app in self.device.apps.values():
             app.close_open_disruption()
         return RunResult(
@@ -198,6 +212,7 @@ class Testbed:
             horizon=horizon,
             timed=scenario.timed,
             notified_user=bool(self.device.ui_notifications),
+            meta={"elided_events": elided},
         )
 
     def _start_data_delivery_workload(self, instance: ScenarioInstance) -> None:

@@ -25,6 +25,11 @@ from repro.transport.packets import Direction, Protocol
 
 HEARTBEAT = 2.0
 EVENT_CHECK_DELAY = 0.02
+# A run may only quiesce this long after recovery: it is the longest
+# transport timeout in the model (TCP request), so every exchange that
+# was launched *before* recovery has resolved — and left its trace in
+# the detector state checked by settled() — by the time it elapses.
+SETTLE_GRACE = 10.0
 
 
 class ConnectivityOracle:
@@ -97,11 +102,13 @@ class DisruptionMeter:
         core: CoreNetwork,
         device: Device,
         target: ConnectivityTarget,
+        deployment=None,
     ) -> None:
         self.sim = sim
         self.core = core
         self.device = device
         self.target = target
+        self.deployment = deployment
         self.oracle = ConnectivityOracle(core, device)
         self.measurement: Measurement | None = None
         self._armed = False
@@ -124,7 +131,8 @@ class DisruptionMeter:
             return
         self._check()
         if self._armed:
-            self.sim.schedule(HEARTBEAT, self._heartbeat, label="meter:heartbeat")
+            self.sim.schedule(HEARTBEAT, self._heartbeat, label="meter:heartbeat",
+                              maintenance=True)
 
     def _on_event(self) -> None:
         if self._armed:
@@ -140,3 +148,51 @@ class DisruptionMeter:
         if self.oracle.ok(self.target):
             self.measurement.recovered_at = self.sim.now
             self._armed = False
+
+    # ------------------------------------------------------------------
+    # Quiescence predicate
+    # ------------------------------------------------------------------
+    def settled(self) -> bool:
+        """True when stopping the run now is output-invariant.
+
+        This is the ``quiesce_when`` predicate for
+        :meth:`Simulator.run_quiescent`: together with the kernel's
+        "only maintenance events pending" condition it guarantees the
+        elided horizon tail is pure steady-state churn — no measurement
+        still open, no app mid-failure-episode, no NAS procedure or
+        legacy retry in flight, no Android detector primed to trip, and
+        no SEED component (applet decision, escort sequence, downlink
+        fragment, OTA flush) with pending work. Every check reads state
+        that the corresponding subsystem exposes for exactly this
+        purpose; the checks are ordered cheapest-first because the
+        kernel calls this once per event while the heap is
+        maintenance-only.
+        """
+        measurement = self.measurement
+        if measurement is None or measurement.recovered_at is None:
+            return False
+        if self.sim.now < measurement.recovered_at + SETTLE_GRACE:
+            return False
+        device = self.device
+        if not device.modem.procedures_idle():
+            return False
+        for app in device.apps.values():
+            if not app.quiet():
+                return False
+        if not device.android.detectors_quiet():
+            return False
+        if not self.oracle.ok(self.target):
+            return False
+        deployment = self.deployment
+        if deployment is not None:
+            if device.card.proactive_queue:
+                return False
+            applet = deployment.applets.get(device.supi)
+            if applet is not None and applet.busy:
+                return False
+            carrier_app = deployment.carrier_apps.get(device.supi)
+            if carrier_app is not None and not carrier_app.idle:
+                return False
+            if not deployment.plugin.downlinks_idle():
+                return False
+        return True

@@ -66,7 +66,15 @@ class ConnectivityProber:
         self._dns_cache: tuple[str, float] | None = None
 
     def probe(self, callback: Callable[[ProbeOutcome], None]) -> None:
-        """Run resolve → connect → request; callback gets the outcome."""
+        """Run resolve → connect → request; callback gets the outcome.
+
+        Probes carry no ``maintenance`` flag of their own: when invoked
+        from a periodic maintenance tick (Android's validation loop)
+        the DNS/TCP child events inherit the maintenance taint from the
+        dispatch context, so an idle probe-in-flight never blocks
+        quiescence; when invoked from substantive context (recovery
+        rung re-validation) the children stay substantive.
+        """
         start = self.sim.now
 
         def finish(result: ProbeResult) -> None:

@@ -1,0 +1,43 @@
+"""Fixture: DET006 — impure maintenance timers."""
+
+COUNTERS = {}
+
+
+class LambdaTimer:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self):
+        # Callback is not a bound self.<method>.
+        self.sim.schedule(5.0, lambda: None, label="tick", maintenance=True)
+
+
+class OneShotTimer:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self):
+        self.sim.schedule_fire(5.0, self._tick, label="tick", maintenance=True)
+
+    def _tick(self):
+        # Never re-arms: substantive one-shot work wearing the flag.
+        self.sim.log("tick")
+
+
+class LeakyTimer:
+    def __init__(self, sim, peer):
+        self.sim = sim
+        self.peer = peer
+
+    def start(self):
+        self.sim.schedule(5.0, self._tick, label="tick", maintenance=True)
+
+    def _tick(self):
+        peer = self.peer
+        peer.last_seen = self.sim.now  # store through a foreign root
+        self.sim.schedule(5.0, self._tick, label="tick", maintenance=True)
+
+
+def arm_module_level(sim, callback):
+    # Outside any class: purity cannot be verified.
+    sim.schedule(5.0, callback, label="tick", maintenance=True)

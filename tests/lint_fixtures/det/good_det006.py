@@ -1,0 +1,52 @@
+"""Fixture: DET006-clean — pure self-rescheduling maintenance timers."""
+
+
+class Sampler:
+    def __init__(self, sim, monitor):
+        self.sim = sim
+        self.monitor = monitor
+        self.running = False
+        self.samples = 0
+
+    def start(self):
+        if self.running:
+            return
+        self.running = True
+        self.sim.schedule_fire(5.0, self._tick, label="sample", maintenance=True)
+
+    def _tick(self):
+        if not self.running:
+            return
+        self.samples += 1  # stores rooted at self are its own subsystem
+        self.monitor.sample("load", self.samples)
+        self.sim.schedule_fire(5.0, self._tick, label="sample", maintenance=True)
+
+
+class CadenceLoop:
+    """Re-arming via a helper (the app-traffic idiom)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.exchanges = 0
+
+    def start(self):
+        self._schedule_next()
+
+    def _schedule_next(self):
+        self.sim.schedule_fire(30.0, self._do_exchange, label="app",
+                               maintenance=True)
+
+    def _do_exchange(self):
+        self.exchanges += 1
+        self._schedule_next()
+
+
+class ProtocolTimer:
+    """Substantive timers (no maintenance flag) are out of scope."""
+
+    def __init__(self, sim, modem):
+        self.sim = sim
+        self.modem = modem
+
+    def arm(self):
+        self.sim.schedule(10.0, self.modem.retry, label="t3502")

@@ -117,6 +117,55 @@ class TestResume:
         assert len(calls) == 1  # only the torn shard re-ran
         assert sorted(outcome.results) == [0, 1]
 
+    def test_torn_tail_that_parses_as_json_tolerated(self, tmp_path):
+        """A mid-record truncation can still parse (the cut lands where
+        the fragment closes cleanly). Such lines carry no shard_id or
+        status and must be dropped — not crash ``failures()`` — and
+        the torn shard re-runs."""
+        plan = small_plan(replicas=4, shard_size=2)  # 2 shards
+        checkpoint = Checkpoint(tmp_path)
+        execute_plan(plan, checkpoint=checkpoint, shard_fn=fake_shard_fn)
+
+        lines = (tmp_path / "shards.jsonl").read_text().splitlines()
+        for fragment in ("42", '"attempts"', '{"result": {"tasks": []}}'):
+            (tmp_path / "shards.jsonl").write_text(
+                "\n".join(lines[:-1]) + "\n" + fragment + "\n")
+            resumed = Checkpoint(tmp_path)
+            assert resumed.failures() == {}  # must not raise KeyError
+            assert sorted(resumed.completed()) == [0]
+
+            calls = []
+
+            def counting(payload):
+                calls.append(payload["shard_id"])
+                return fake_shard_fn(payload)
+
+            outcome = execute_plan(plan, checkpoint=resumed, shard_fn=counting)
+            assert calls == [1]  # only the torn shard re-ran
+            assert sorted(outcome.results) == [0, 1]
+            # Reset the log for the next fragment shape.
+            (tmp_path / "shards.jsonl").write_text("\n".join(lines) + "\n")
+
+    def test_truncation_sweep_never_corrupts_resume(self, tmp_path):
+        """Cut the JSONL at every byte offset inside the final record:
+        resume must always yield exactly the full result set, re-running
+        only the torn shard."""
+        plan = small_plan(replicas=4, shard_size=2)  # 2 shards
+        execute_plan(plan, checkpoint=Checkpoint(tmp_path),
+                     shard_fn=fake_shard_fn)
+        full = (tmp_path / "shards.jsonl").read_text()
+        head = full[: full.rindex('{"attempts"')]
+        tail = full[len(head):].rstrip("\n")
+
+        for cut in range(0, len(tail), 7):
+            (tmp_path / "shards.jsonl").write_text(head + tail[:cut])
+            resumed = Checkpoint(tmp_path)
+            resumed.failures()  # never raises
+            outcome = execute_plan(plan, checkpoint=resumed,
+                                   shard_fn=fake_shard_fn)
+            assert sorted(outcome.results) == [0, 1], f"cut={cut}"
+            assert outcome.executed == 1 and outcome.skipped == 1, f"cut={cut}"
+
 
 class TestRetries:
     def test_retry_then_recover(self, tmp_path):

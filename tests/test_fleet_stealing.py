@@ -1,0 +1,123 @@
+"""Work-stealing scheduler: batching, queue order, and determinism.
+
+The pool feeds one shared executor queue with fine-grained batches in
+LPT (longest-estimated-first) order; workers pull as they drain. These
+tests pin the deterministic pieces — cost model, steal order, batch
+shapes — and the invariant that stealing never changes results.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.planner import (
+    FleetPlan,
+    Shard,
+    TaskSpec,
+    estimated_shard_cost,
+    estimated_task_cost,
+    plan_matrix,
+    shard_tasks,
+    steal_order,
+)
+from repro.fleet.pool import _batches, execute_plan
+from repro.testbed.harness import HORIZONS, HandlingMode
+from repro.infra.failures import FailureClass
+
+
+def _task(task_id, scenario="cp_timeout_transient", handling="legacy"):
+    return TaskSpec(task_id=task_id, scenario=scenario, handling=handling,
+                    seed=task_id)
+
+
+def synthetic_shard_fn(payload):
+    """Module-level (picklable) synthetic shard result."""
+    return {"shard_id": payload["shard_id"],
+            "tasks": [{"task_id": t["task_id"]} for t in payload["tasks"]],
+            "learning": {}}
+
+
+class TestCostModel:
+    def test_cost_scales_with_class_horizon(self):
+        cp = estimated_task_cost(_task(0, scenario="cp_timeout_transient"))
+        dp = estimated_task_cost(_task(1, scenario="dp_outdated_dnn"))
+        assert cp == HORIZONS[FailureClass.CONTROL_PLANE]
+        assert dp == HORIZONS[FailureClass.DATA_PLANE]
+        assert dp > cp
+
+    def test_seed_modes_estimated_cheaper_than_legacy(self):
+        legacy = estimated_task_cost(_task(0, handling="legacy"))
+        seed_u = estimated_task_cost(_task(0, handling="seed_u"))
+        seed_r = estimated_task_cost(_task(0, handling="seed_r"))
+        assert seed_r < seed_u < legacy
+
+    def test_explicit_horizon_overrides_class_horizon(self):
+        task = TaskSpec(task_id=0, scenario="cp_timeout_transient",
+                        handling="legacy", seed=0, horizon=100.0)
+        assert estimated_task_cost(task) == 100.0
+
+    def test_shard_cost_sums_tasks(self):
+        shard = Shard(shard_id=0, tasks=(_task(0), _task(1)))
+        assert estimated_shard_cost(shard) == 2 * estimated_task_cost(_task(0))
+
+
+class TestStealOrder:
+    def test_longest_first_ties_by_id(self):
+        light = Shard(shard_id=0, tasks=(_task(0, handling="seed_r"),))
+        heavy = Shard(shard_id=1, tasks=(_task(1, handling="legacy"),))
+        twin = Shard(shard_id=2, tasks=(_task(2, handling="legacy"),))
+        assert steal_order([light, heavy, twin]) == [1, 2, 0]
+
+    def test_order_is_deterministic_for_a_real_plan(self):
+        plan = plan_matrix(replicas=2, master_seed=9, shard_size=2)
+        assert steal_order(plan.shards) == steal_order(plan.shards)
+        assert sorted(steal_order(plan.shards)) == sorted(
+            s.shard_id for s in plan.shards)
+
+
+class TestBatches:
+    def test_batches_partition_the_round(self):
+        ids = list(range(23))
+        batches = _batches(ids, workers=4)
+        flattened = [sid for batch in batches for sid in batch]
+        assert flattened == ids  # order preserved, nothing lost
+
+    def test_sizes_decrease_to_single_shard_tail(self):
+        sizes = [len(b) for b in _batches(list(range(40)), workers=4)]
+        assert sizes[0] == max(sizes)
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] == 1
+        assert len(sizes) > 4  # finer-grained than one-chunk-per-worker
+
+    def test_single_worker_still_batches(self):
+        assert _batches([1, 2, 3], workers=1)
+
+    def test_empty_round(self):
+        assert _batches([], workers=4) == []
+
+
+class TestStealingDeterminism:
+    def test_inline_execution_follows_queue_order(self):
+        """workers<=1 drains the steal queue in LPT order — the same
+        order a single pool worker would pull batches in."""
+        tasks = (
+            [_task(i, scenario="dp_outdated_dnn", handling="legacy")
+             for i in range(2)]
+            + [_task(i + 2, handling="seed_r") for i in range(2)]
+        )
+        plan = FleetPlan(master_seed=0, shards=shard_tasks(tasks, shard_size=1))
+        seen = []
+
+        def recording(payload):
+            seen.append(payload["shard_id"])
+            return {"shard_id": payload["shard_id"], "tasks": [], "learning": {}}
+
+        execute_plan(plan, workers=1, shard_fn=recording)
+        assert seen == steal_order(plan.shards)
+        assert seen[0] in (0, 1)  # a data-plane (heavy) shard leads
+
+    def test_results_identical_at_any_worker_count(self):
+        plan = plan_matrix(scenario_patterns=["cp_*"],
+                           modes=[HandlingMode.LEGACY], replicas=2,
+                           master_seed=4, shard_size=1)
+        single = execute_plan(plan, workers=1, shard_fn=synthetic_shard_fn)
+        quad = execute_plan(plan, workers=4, shard_fn=synthetic_shard_fn)
+        assert single.sorted_results() == quad.sorted_results()

@@ -18,7 +18,7 @@ from repro.lint.registry import all_rules
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 
 PER_FILE_RULES = (
-    "DET001", "DET002", "DET003", "DET004", "DET005",
+    "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
     "SAFE001", "SAFE002", "SAFE003", "SAFE004",
 )
 PROTO_RULES = ("PROTO001", "PROTO002", "PROTO003", "PROTO004")

@@ -1,7 +1,10 @@
 """Property-based system tests (hypothesis): cross-cutting invariants."""
 
+import math
+
 from hypothesis import given, settings, strategies as st
 
+from repro.device.android import AndroidTimers
 from repro.infra import ClearTrigger, FailureClass, FailureSpec
 from repro.infra.failures import FailureEngine, FailureMode
 from repro.simkernel import Simulator
@@ -43,20 +46,55 @@ class TestSeedRecoveryProperty:
     )
     @settings(max_examples=8, deadline=None)
     def test_seed_never_slower_than_horizon_censored_legacy(self, scenario, seed):
-        """SEED-R recovery is never meaningfully slower than legacy on
-        the same scenario instance (same seed → same ambient draws).
+        """SEED-R recovery is never slower than legacy on the same
+        scenario instance (same seed → same ambient draws).
 
-        Tolerance is relative: when a failure only clears ambiently
-        (e.g. dp_insufficient_resources at seed=19, ~100 s), both modes
-        ride out the same outage and differ only by their periodic
-        validation cadence, so detection is quantized by a few seconds
-        on either side. A flat 1 s bound misreads that jitter as a
-        regression.
+        When every injected failure only clears ambiently (e.g.
+        dp_insufficient_resources at seed=19, ~90 s outage), both modes
+        ride out the *same* outage; what remains is detection phase —
+        which re-attempt/validation slot each mode lands in after the
+        clear. That phase is quantized by the validation cadence, so
+        raw durations can differ by a few seconds in either direction
+        without either mode being faster in any meaningful sense. Both
+        durations are therefore censored at the same quantized
+        validation boundary after the shared clear instant (identical
+        across modes: same seed, same injection schedule), and SEED
+        must not cross a *later* boundary than legacy. When any failure
+        cleared through an active trigger, SEED did real recovery work
+        and the raw comparison applies (1 s for event jitter).
         """
-        seed_result = Testbed(seed=seed, handling=HandlingMode.SEED_R).run_scenario(scenario)
-        legacy_result = Testbed(seed=seed, handling=HandlingMode.LEGACY).run_scenario(scenario)
-        tolerance = max(1.0, 0.1 * legacy_result.duration)
-        assert seed_result.duration <= legacy_result.duration + tolerance
+        seed_testbed = Testbed(seed=seed, handling=HandlingMode.SEED_R)
+        seed_result = seed_testbed.run_scenario(scenario)
+        legacy_testbed = Testbed(seed=seed, handling=HandlingMode.LEGACY)
+        legacy_result = legacy_testbed.run_scenario(scenario)
+
+        def ambient_only(testbed):
+            history = testbed.core.engine.history
+            return history and all(
+                f.cleared_by is ClearTrigger.AFTER_DURATION
+                for f in history if f.cleared
+            )
+
+        if (seed_result.recovered and legacy_result.recovered
+                and ambient_only(seed_testbed) and ambient_only(legacy_testbed)):
+            cadence = AndroidTimers.stock().validation_interval
+
+            def boundary(result, testbed):
+                # Validation boundaries counted from the final ambient
+                # clear; ceil censors a recovery anywhere inside a
+                # cadence window at that window's closing boundary.
+                last_clear = max(
+                    f.cleared_at for f in testbed.core.engine.history if f.cleared
+                )
+                delay = result.measurement.recovered_at - last_clear
+                if delay <= 0:
+                    return 0
+                return math.ceil(delay / cadence - 1e-9)
+
+            assert (boundary(seed_result, seed_testbed)
+                    <= boundary(legacy_result, legacy_testbed))
+        else:
+            assert seed_result.duration <= legacy_result.duration + 1.0
 
 
 class TestFailureEngineProperties:
