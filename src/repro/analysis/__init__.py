@@ -1,10 +1,13 @@
-"""Analysis helpers: CDFs/percentiles, text tables, solution matrix."""
+"""Analysis helpers: CDFs/percentiles, incremental aggregation state,
+text tables, solution matrix."""
 
 from repro.analysis.cdf import Cdf, percentile
+from repro.analysis.incremental import AggregateState
 from repro.analysis.solutions import SOLUTION_MATRIX, SolutionCapability
 from repro.analysis.tables import format_table
 
 __all__ = [
+    "AggregateState",
     "Cdf",
     "SOLUTION_MATRIX",
     "SolutionCapability",

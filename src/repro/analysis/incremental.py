@@ -1,0 +1,135 @@
+"""Mergeable, incremental aggregation state for streaming sweeps.
+
+:class:`AggregateState` is the fold underlying the fleet aggregate:
+shard results are absorbed one at a time (``fold_shard``), partial
+states merge associatively (``merge``), and ``result()`` renders the
+same dict :func:`repro.fleet.aggregate.aggregate_records` produces for
+the full record list — in fact the batch aggregator *is* a one-shot
+fold through this class, so "streaming equals batch" holds by
+construction, not by parallel maintenance of two code paths.
+
+Exactness does not depend on fold order:
+
+* percentiles sort their sample list on render, so duration lists may
+  arrive in any interleaving;
+* coverage is an integer ratio (handled / total);
+* learner state is a sum of integer counters
+  (:func:`repro.core.online_learning.merge_records` is commutative).
+
+The only ordered value, the rendered JSON, is key-sorted by
+``canonical_json``.  A served sweep folding shard checkpoints as they
+land therefore emits byte-identical ``aggregate.json`` to the batch
+CLI — the hard invariant pinned by ``tests/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.cdf import percentile
+from repro.core.online_learning import WireRecords, merge_records
+
+
+class AggregateState:
+    """Running fleet-aggregate fold over task records + learner wires."""
+
+    def __init__(self) -> None:
+        self.tasks = 0
+        self._durations: dict[str, list[float]] = {}     # cell -> timed durations
+        self._handled: dict[str, int] = {}               # cell -> handled count
+        self._totals: dict[str, int] = {}                # cell -> sample count
+        self._scenario_samples: dict[str, int] = {}
+        self._scenario_durations: dict[str, list[float]] = {}
+        self._wire: WireRecords = {}
+
+    # -- folding -------------------------------------------------------
+    def fold_records(
+        self,
+        records: Iterable[dict],
+        shard_learning: Iterable[WireRecords] = (),
+    ) -> None:
+        """Absorb task records plus per-shard learning wires."""
+        for record in records:
+            self.tasks += 1
+            key = f"{record['failure_class']}/{record['handling']}"
+            self._totals[key] = self._totals.get(key, 0) + 1
+            if record["handled"]:
+                self._handled[key] = self._handled.get(key, 0) + 1
+            if record["timed"]:
+                self._durations.setdefault(key, []).append(record["duration"])
+            name = record["scenario"]
+            self._scenario_samples[name] = self._scenario_samples.get(name, 0) + 1
+            if record["timed"]:
+                self._scenario_durations.setdefault(name, []).append(
+                    record["duration"])
+        for wire in shard_learning:
+            merge_records(self._wire, wire)
+
+    def fold_shard(self, shard_result: dict) -> None:
+        """Absorb one shard result (the ``run_shard`` output form)."""
+        self.fold_records(shard_result["tasks"],
+                          [shard_result.get("learning", {})])
+
+    def merge(self, other: "AggregateState") -> "AggregateState":
+        """Fold another partial state into this one (associative)."""
+        self.tasks += other.tasks
+        for key, count in other._totals.items():
+            self._totals[key] = self._totals.get(key, 0) + count
+        for key, count in other._handled.items():
+            self._handled[key] = self._handled.get(key, 0) + count
+        for key, values in other._durations.items():
+            self._durations.setdefault(key, []).extend(values)
+        for name, count in other._scenario_samples.items():
+            self._scenario_samples[name] = (
+                self._scenario_samples.get(name, 0) + count)
+        for name, values in other._scenario_durations.items():
+            self._scenario_durations.setdefault(name, []).extend(values)
+        merge_records(self._wire, other._wire)
+        return self
+
+    # -- rendering -----------------------------------------------------
+    def learning_wire(self) -> WireRecords:
+        """The merged §5.3 learner wire accumulated so far."""
+        return self._wire
+
+    def result(self) -> dict:
+        """The aggregate dict for everything folded so far.
+
+        For a complete sweep this equals ``aggregate_records(records,
+        learning)`` exactly; for a partial fold it is the aggregate of
+        the prefix — what a ``watch`` client streams as progress.
+        """
+        # Deferred import: fleet depends on analysis, not the reverse.
+        from repro.fleet.aggregate import learner_from_wire
+
+        cells = {}
+        for key in sorted(self._totals):
+            timed = self._durations.get(key, [])
+            cells[key] = {
+                "samples": self._totals[key],
+                "timed_samples": len(timed),
+                "median": percentile(timed, 50) if timed else None,
+                "p90": percentile(timed, 90) if timed else None,
+                "coverage": self._handled.get(key, 0) / self._totals[key],
+            }
+
+        scenarios = {}
+        for name in sorted(self._scenario_samples):
+            timed = self._scenario_durations.get(name, [])
+            scenarios[name] = {
+                "samples": self._scenario_samples[name],
+                "median": percentile(timed, 50) if timed else None,
+            }
+
+        learner = learner_from_wire(self._wire)
+        learning = {
+            "net_record": self._wire,
+            "best_action": {cause: learner.best_action(int(cause)).name
+                            for cause in sorted(self._wire)},
+        }
+        return {
+            "tasks": self.tasks,
+            "cells": cells,
+            "scenarios": scenarios,
+            "learning": learning,
+        }

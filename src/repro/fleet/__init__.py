@@ -19,12 +19,13 @@ from repro.fleet.planner import (
     TaskSpec,
     filter_scenarios,
     matrix_tasks,
+    plan_from_spec,
     plan_matrix,
     repeat_tasks,
     shard_tasks,
     suite_tasks,
 )
-from repro.fleet.pool import PoolOutcome, execute_plan
+from repro.fleet.pool import PoolOutcome, WorkerPool, execute_plan
 from repro.fleet.runner import FleetRunner
 from repro.fleet.worker import run_shard, run_task
 
@@ -38,12 +39,14 @@ __all__ = [
     "PoolOutcome",
     "Shard",
     "TaskSpec",
+    "WorkerPool",
     "aggregate_records",
     "canonical_json",
     "execute_plan",
     "filter_scenarios",
     "matrix_tasks",
     "merge_learning",
+    "plan_from_spec",
     "plan_matrix",
     "repeat_tasks",
     "run_shard",

@@ -11,6 +11,11 @@ independent of shard completion order and worker count) into:
 * one crowdsourced §5.3 learner state, merged from the shards' wire
   records (count merging is order-independent).
 
+The fold itself lives in :class:`repro.analysis.incremental.
+AggregateState`; :func:`aggregate_records` is a one-shot fold through
+it, so the batch aggregate and the streaming/served aggregate are the
+same computation by construction.
+
 ``canonical_json`` renders the aggregate with sorted keys and fixed
 separators: two runs of the same plan produce byte-identical files.
 """
@@ -20,8 +25,16 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-from repro.analysis.cdf import percentile
+from repro.analysis.incremental import AggregateState
 from repro.core.online_learning import InfraLearner, WireRecords, merge_records
+
+__all__ = [
+    "AggregateState",
+    "aggregate_records",
+    "canonical_json",
+    "learner_from_wire",
+    "merge_learning",
+]
 
 
 def merge_learning(shard_learning: Iterable[WireRecords]) -> WireRecords:
@@ -39,68 +52,20 @@ def learner_from_wire(wire: WireRecords, learning_rate: float = 0.05) -> InfraLe
     return learner
 
 
-def _cell_key(record: dict) -> str:
-    return f"{record['failure_class']}/{record['handling']}"
-
-
 def aggregate_records(
     records: list[dict],
     shard_learning: Iterable[WireRecords] = (),
 ) -> dict:
-    """Merge task records + learning wires into the aggregate dict."""
-    ordered = sorted(records, key=lambda r: r["task_id"])
+    """Merge task records + learning wires into the aggregate dict.
 
-    cells: dict[str, dict] = {}
-    durations: dict[str, list[float]] = {}
-    handled: dict[str, int] = {}
-    totals: dict[str, int] = {}
-    per_scenario: dict[str, dict] = {}
-
-    for record in ordered:
-        key = _cell_key(record)
-        totals[key] = totals.get(key, 0) + 1
-        if record["handled"]:
-            handled[key] = handled.get(key, 0) + 1
-        if record["timed"]:
-            durations.setdefault(key, []).append(record["duration"])
-        scenario = per_scenario.setdefault(
-            record["scenario"], {"samples": 0, "durations": []})
-        scenario["samples"] += 1
-        if record["timed"]:
-            scenario["durations"].append(record["duration"])
-
-    for key, total in totals.items():
-        timed = durations.get(key, [])
-        cells[key] = {
-            "samples": total,
-            "timed_samples": len(timed),
-            "median": percentile(timed, 50) if timed else None,
-            "p90": percentile(timed, 90) if timed else None,
-            "coverage": handled.get(key, 0) / total,
-        }
-
-    scenarios = {}
-    for name, stats in per_scenario.items():
-        timed = stats["durations"]
-        scenarios[name] = {
-            "samples": stats["samples"],
-            "median": percentile(timed, 50) if timed else None,
-        }
-
-    merged_wire = merge_learning(shard_learning)
-    learner = learner_from_wire(merged_wire)
-    learning = {
-        "net_record": merged_wire,
-        "best_action": {cause: learner.best_action(int(cause)).name
-                        for cause in sorted(merged_wire)},
-    }
-
-    return {
-        "tasks": len(ordered),
-        "cells": cells,
-        "scenarios": scenarios,
-        "learning": learning,
-    }
+    One-shot fold through :class:`AggregateState` — the streaming path
+    (``repro.serve``) folds the same state shard by shard, so the two
+    can never drift apart.
+    """
+    state = AggregateState()
+    state.fold_records(sorted(records, key=lambda r: r["task_id"]),
+                       shard_learning)
+    return state.result()
 
 
 def canonical_json(aggregate: dict) -> str:

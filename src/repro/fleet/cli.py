@@ -22,7 +22,7 @@ import sys
 
 from repro.analysis.tables import format_table
 from repro.fleet.checkpoint import CheckpointMismatch
-from repro.fleet.planner import FleetPlan, plan_matrix
+from repro.fleet.planner import FleetPlan, plan_from_spec
 from repro.fleet.runner import FleetRunner
 from repro.testbed.harness import HandlingMode
 
@@ -72,22 +72,24 @@ def _parse_modes(spec: str) -> list[HandlingMode]:
     return modes
 
 
+def spec_from_args(args: argparse.Namespace) -> dict:
+    """The sweep spec these CLI flags describe (the serve wire format).
+
+    Shared with ``python -m repro.serve submit``, which accepts the
+    same flags: one spec → one plan → one aggregate, whichever surface
+    ran it.
+    """
+    if args.suite:
+        return {"kind": "suite", "suite": args.suite, "runs": args.runs,
+                "seed": args.seed, "shard_size": args.shard_size}
+    return {"kind": "matrix", "scenarios": args.scenario,
+            "modes": [m.value for m in _parse_modes(args.modes)],
+            "replicas": args.replicas, "seed": args.seed,
+            "shard_size": args.shard_size}
+
+
 def _build_plan(args: argparse.Namespace) -> FleetPlan:
-    if args.suite == "table4":
-        from repro.experiments import table4
-        return table4.fleet_plan(runs=args.runs, seed=args.seed or 4000,
-                                 shard_size=args.shard_size)
-    if args.suite == "coverage":
-        from repro.experiments import coverage
-        return coverage.fleet_plan(runs=args.runs, seed=args.seed or 7000,
-                                   shard_size=args.shard_size)
-    return plan_matrix(
-        scenario_patterns=args.scenario,
-        modes=_parse_modes(args.modes),
-        replicas=args.replicas,
-        master_seed=args.seed,
-        shard_size=args.shard_size,
-    )
+    return plan_from_spec(spec_from_args(args))
 
 
 def _render_report(report) -> str:
@@ -131,7 +133,13 @@ def main(argv: list[str] | None = None) -> int:
               f"checkpoint, {report.executed_shards} executed")
     print(_render_report(report))
     print(f"fleet: {len(report.records)} runs in {report.wall_seconds:.1f}s "
-          f"({report.scenarios_per_sec:.1f} scenarios/sec)")
+          f"({report.scenarios_per_sec:.1f} scenarios/sec; "
+          f"{report.elided_events} events elided; "
+          f"{report.total_retries} shard retries)")
+    if report.shard_retries:
+        detail = ", ".join(f"shard {sid}: {extra}"
+                           for sid, extra in report.shard_retries.items())
+        print(f"fleet: retried — {detail}")
     if args.out:
         print(f"fleet: aggregate written to {runner.checkpoint.aggregate_path}")
     if report.failed_shards:

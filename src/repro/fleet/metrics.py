@@ -38,10 +38,28 @@ class FleetReport:
     # records — the audit trail for run-length-control speedups. Like
     # wall_seconds it never enters the deterministic aggregate.
     elided_events: int = 0
+    # Attempts used per shard executed this invocation (1 = first try).
+    # Telemetry only, like wall_seconds.
+    shard_attempts: dict[int, int] = field(default_factory=dict)
+    # True when a stop/cancel request ended the run before completion;
+    # the checkpoint keeps every finished shard, so it is resumable.
+    cancelled: bool = False
 
     @property
     def complete(self) -> bool:
-        return not self.failed_shards
+        return not self.failed_shards and not self.cancelled
+
+    @property
+    def shard_retries(self) -> dict[int, int]:
+        """Extra attempts per shard, for shards that needed any."""
+        return {sid: attempts - 1
+                for sid, attempts in sorted(self.shard_attempts.items())
+                if attempts > 1}
+
+    @property
+    def total_retries(self) -> int:
+        """Extra attempts summed across all shards of this invocation."""
+        return sum(self.shard_retries.values())
 
     @property
     def scenarios_per_sec(self) -> float:

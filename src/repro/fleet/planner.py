@@ -224,6 +224,59 @@ def resolve_task_scenario(task: TaskSpec) -> Scenario:
 
 
 # ---------------------------------------------------------------------------
+# Sweep specs (the JSON wire format shared by the CLIs and repro.serve)
+# ---------------------------------------------------------------------------
+def plan_from_spec(spec: dict) -> FleetPlan:
+    """Build a plan from a JSON-safe sweep spec.
+
+    Two kinds::
+
+        {"kind": "matrix", "scenarios": ["dp_*"], "modes": ["legacy",
+         "seed_r"], "replicas": 5, "seed": 42, "shard_size": 4}
+        {"kind": "suite", "suite": "table4" | "coverage", "runs": 30,
+         "seed": 4000, "shard_size": 4}
+
+    This is the single spec → plan mapping: ``python -m repro.fleet``,
+    ``python -m repro.serve submit``, and the daemon's job queue all
+    route through it, so a spec means the same sweep — and therefore
+    the same aggregate bytes — no matter which surface submitted it.
+    Raises ``ValueError`` on unknown kinds/suites/modes/scenarios.
+    """
+    kind = spec.get("kind", "matrix")
+    shard_size = int(spec.get("shard_size", DEFAULT_SHARD_SIZE))
+    if kind == "suite":
+        suite = spec.get("suite")
+        runs = int(spec.get("runs", 30))
+        seed = int(spec.get("seed", 0))
+        # Deferred imports: experiments sit above the fleet layer.
+        if suite == "table4":
+            from repro.experiments import table4
+            return table4.fleet_plan(runs=runs, seed=seed or 4000,
+                                     shard_size=shard_size)
+        if suite == "coverage":
+            from repro.experiments import coverage
+            return coverage.fleet_plan(runs=runs, seed=seed or 7000,
+                                       shard_size=shard_size)
+        raise ValueError(f"unknown suite {suite!r} (valid: table4, coverage)")
+    if kind != "matrix":
+        raise ValueError(f"unknown sweep kind {kind!r} (valid: matrix, suite)")
+    mode_names = spec.get("modes") or [mode.value for mode in HandlingMode]
+    try:
+        modes = [HandlingMode(name) for name in mode_names]
+    except ValueError:
+        valid = ", ".join(mode.value for mode in HandlingMode)
+        raise ValueError(
+            f"unknown handling mode in {mode_names!r} (valid: {valid})")
+    return plan_matrix(
+        scenario_patterns=spec.get("scenarios"),
+        modes=modes,
+        replicas=int(spec.get("replicas", 1)),
+        master_seed=int(spec.get("seed", 0)),
+        shard_size=shard_size,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Cost model (work-stealing queue order)
 # ---------------------------------------------------------------------------
 # Relative run-length factor per handling mode. SEED runs recover — and

@@ -27,16 +27,24 @@ batch.
 from __future__ import annotations
 
 import logging
+import multiprocessing
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.fleet.checkpoint import Checkpoint
 from repro.fleet.planner import FleetPlan, steal_order
 from repro.fleet.worker import run_shard
+from repro.testbed import preload
 
 log = logging.getLogger(__name__)
+
+#: Called as each shard result becomes available (freshly executed or
+#: restored from a checkpoint): ``on_shard(shard_id, result)``. The
+#: streaming-aggregation hook for ``repro.serve``.
+ShardCallback = Callable[[int, dict], None]
 
 # Guided self-scheduling divisor: each batch takes ceil(remaining /
 # (workers * FACTOR)) shards. 2 front-loads large batches (amortising
@@ -45,14 +53,85 @@ log = logging.getLogger(__name__)
 _GSS_FACTOR = 2
 
 
+class WorkerPool:
+    """A reusable ("warm") process pool shared across sweeps.
+
+    Created once and handed to any number of :func:`execute_plan` /
+    ``FleetRunner`` invocations: the underlying executor — and with it
+    the worker processes, which pre-import the testbed through
+    :func:`repro.testbed.preload` — survives from sweep to sweep, so
+    back-to-back sweeps stop paying per-sweep pool spin-up (the <1×
+    multi-worker gap on small boxes, where spin-up rivals the
+    post-quiescence per-scenario cost).
+
+    Workers use the ``spawn`` start method: it is safe to create from a
+    threaded daemon (fork from a multi-threaded server is not), it
+    matches the worst-case cost the warm pool exists to amortise (a
+    full interpreter boot + testbed re-import per worker), and the
+    ``preload`` initializer pays exactly that cost once per worker
+    lifetime instead of once per sweep.
+
+    A crashed worker breaks the executor; :meth:`discard` drops it and
+    the next :meth:`executor` call builds a fresh one — preserving the
+    per-round retry semantics of the throwaway executor it replaces.
+    Results are unaffected by warmth: shard outputs are pure functions
+    of their specs.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Callable[[], None] | None = preload,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.initializer = initializer
+        self._executor: ProcessPoolExecutor | None = None
+        #: Executors built over this pool's lifetime (spin-up telemetry:
+        #: a warm run of N sweeps should show 1, not N).
+        self.executors_spawned = 0
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, building one on first use / after discard."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=self.initializer,
+            )
+            self.executors_spawned += 1
+        return self._executor
+
+    def discard(self) -> None:
+        """Drop a broken executor; the next round rebuilds lazily."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Terminate the workers (the pool can be reused afterwards)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
 @dataclass
 class PoolOutcome:
     """What happened to every shard of a plan."""
 
     results: dict[int, dict] = field(default_factory=dict)   # shard_id -> shard result
     failed: dict[int, str] = field(default_factory=dict)     # shard_id -> last error
+    attempts: dict[int, int] = field(default_factory=dict)   # shard_id -> attempts used
     executed: int = 0                                        # shards run this invocation
     skipped: int = 0                                         # shards restored from checkpoint
+    stopped: bool = False                                    # cancelled before completion
 
     def sorted_results(self) -> list[dict]:
         return [self.results[sid] for sid in sorted(self.results)]
@@ -64,13 +143,32 @@ def execute_plan(
     retries: int = 2,
     checkpoint: Checkpoint | None = None,
     shard_fn: Callable[[dict], dict] = run_shard,
+    pool: WorkerPool | None = None,
+    on_shard: ShardCallback | None = None,
+    stop: Callable[[], bool] | None = None,
 ) -> PoolOutcome:
-    """Run all shards, resuming from ``checkpoint`` when given."""
+    """Run all shards, resuming from ``checkpoint`` when given.
+
+    ``pool`` swaps the per-round throwaway executor for a shared warm
+    :class:`WorkerPool` (its worker count wins over ``workers``).
+    ``on_shard`` fires for every available result — checkpoint-restored
+    shards first, then fresh ones the moment they land — which is what
+    the streaming aggregator folds. ``stop`` is polled between results;
+    once it returns True no further work is scheduled, in-flight
+    batches are cancelled where possible, and the partial outcome is
+    returned with ``stopped=True`` (completed shards are already in the
+    checkpoint, so the run is resumable).
+    """
     outcome = PoolOutcome()
+    if pool is not None:
+        workers = pool.workers
     if checkpoint is not None:
         checkpoint.bind(plan)
         outcome.results.update(checkpoint.completed())
         outcome.skipped = len(outcome.results)
+        if on_shard is not None:
+            for sid in sorted(outcome.results):
+                on_shard(sid, outcome.results[sid])
 
     payloads = {s.shard_id: s.to_json() for s in plan.shards}
     pending = {sid: 0 for sid in payloads if sid not in outcome.results}
@@ -78,20 +176,28 @@ def execute_plan(
     queue_order = steal_order(plan.shards)
 
     while pending:
+        if stop is not None and stop():
+            outcome.stopped = True
+            break
         round_ids = [sid for sid in queue_order if sid in pending]
-        round_outcomes = _run_round(shard_fn, payloads, round_ids, workers)
+        round_outcomes = _run_round(
+            shard_fn, payloads, round_ids, workers, pool=pool, stop=stop)
         for sid, result, error in round_outcomes:
             pending[sid] += 1
             attempts = pending[sid]
             if error is None:
                 outcome.results[sid] = result
+                outcome.attempts[sid] = attempts
                 outcome.executed += 1
                 outcome.failed.pop(sid, None)
                 del pending[sid]
                 if checkpoint is not None:
                     checkpoint.record_ok(sid, result, attempts)
+                if on_shard is not None:
+                    on_shard(sid, result)
             else:
                 outcome.failed[sid] = error
+                outcome.attempts[sid] = attempts
                 log.warning(
                     "shard %d failed (attempt %d/%d): %s",
                     sid, attempts, max_attempts, error.strip().splitlines()[-1],
@@ -101,6 +207,9 @@ def execute_plan(
                 if attempts >= max_attempts:
                     del pending[sid]
                     log.error("shard %d dropped after %d attempts", sid, attempts)
+        if stop is not None and stop() and pending:
+            outcome.stopped = True
+            break
     return outcome
 
 
@@ -144,7 +253,7 @@ def _batches(round_ids: list[int], workers: int) -> list[list[int]]:
 
 
 def _run_round(
-    shard_fn, payloads, round_ids, workers
+    shard_fn, payloads, round_ids, workers, pool=None, stop=None
 ) -> Iterator[tuple[int, dict | None, str | None]]:
     """One submission round, yielding each outcome as it resolves.
 
@@ -158,28 +267,49 @@ def _run_round(
     exists — a killed run keeps every shard that finished before the
     kill, not just completed rounds.
 
-    The executor lives for exactly one round: if a worker dies and
-    breaks the pool, every future of the round resolves (some with
-    ``BrokenProcessPool``), the broken executor is discarded, and the
-    next round starts clean. A broken batch future costs each of its
-    shards one attempt.
+    Without a warm ``pool`` the executor lives for exactly one round:
+    if a worker dies and breaks it, every future of the round resolves
+    (some with ``BrokenProcessPool``), the broken executor is
+    discarded, and the next round starts clean. With a warm pool the
+    executor is borrowed and survives the round; a broken one is handed
+    back via :meth:`WorkerPool.discard` so the next round rebuilds it.
+    Either way a broken batch future costs each of its shards one
+    attempt — never the run.
+
+    ``stop`` is polled between batch completions; when it trips, still-
+    queued batches are cancelled (a batch already on a worker runs to
+    completion and is simply not consumed) and the round ends early.
     """
-    if workers <= 1:
+    if workers <= 1 and pool is None:
         for sid in round_ids:
+            if stop is not None and stop():
+                return
             yield (sid, *_attempt_inline(shard_fn, payloads[sid]))
         return
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    executor = pool.executor() if pool is not None else ProcessPoolExecutor(
+        max_workers=workers)
+    futures = {}
+    try:
         futures = {
-            pool.submit(
+            executor.submit(
                 _run_shard_chunk, shard_fn, [(sid, payloads[sid]) for sid in ids]
             ): ids
             for ids in _batches(round_ids, workers)
         }
         for future in as_completed(futures):
+            if stop is not None and stop():
+                for queued in futures:
+                    queued.cancel()
+                return
             ids = futures[future]
             try:
                 yield from future.result()
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
+                if pool is not None and isinstance(exc, BrokenProcessPool):
+                    pool.discard()
                 for sid in ids:
                     yield sid, None, error
+    finally:
+        if pool is None:
+            executor.shutdown(wait=True, cancel_futures=True)

@@ -15,7 +15,7 @@ from repro.fleet.aggregate import aggregate_records, canonical_json
 from repro.fleet.checkpoint import Checkpoint
 from repro.fleet.metrics import FleetReport
 from repro.fleet.planner import FleetPlan
-from repro.fleet.pool import execute_plan
+from repro.fleet.pool import ShardCallback, WorkerPool, execute_plan
 from repro.fleet.worker import run_shard
 
 
@@ -27,7 +27,8 @@ class FleetRunner:
     plan:
         The sharded sweep to execute.
     workers:
-        Pool size; ``<= 1`` runs inline in this process.
+        Pool size; ``<= 1`` runs inline in this process. Ignored when
+        ``pool`` is given (the pool's worker count wins).
     retries:
         Extra attempts per shard after its first failure.
     out_dir:
@@ -36,6 +37,19 @@ class FleetRunner:
     shard_fn:
         Override for tests; must accept/return JSON-safe dicts and be
         picklable when ``workers > 1``.
+    pool:
+        A shared warm :class:`~repro.fleet.pool.WorkerPool`. Back-to-
+        back sweeps through one pool reuse the preloaded worker
+        processes instead of paying per-sweep executor spin-up; the
+        caller owns the pool's lifetime.
+    on_shard:
+        Shard-completion callback ``(shard_id, result)`` — fires for
+        restored and freshly executed shards alike, in availability
+        order (the streaming-aggregation hook).
+    stop:
+        Cancellation poll; once it returns True the run winds down and
+        the report carries ``cancelled=True`` (the checkpoint keeps
+        every completed shard, so the run is resumable).
     """
 
     def __init__(
@@ -45,12 +59,18 @@ class FleetRunner:
         retries: int = 2,
         out_dir: str | None = None,
         shard_fn: Callable[[dict], dict] = run_shard,
+        pool: WorkerPool | None = None,
+        on_shard: ShardCallback | None = None,
+        stop: Callable[[], bool] | None = None,
     ) -> None:
         self.plan = plan
-        self.workers = workers
+        self.workers = pool.workers if pool is not None else workers
         self.retries = retries
         self.checkpoint = Checkpoint(out_dir) if out_dir is not None else None
         self.shard_fn = shard_fn
+        self.pool = pool
+        self.on_shard = on_shard
+        self.stop = stop
 
     def run(self) -> FleetReport:
         started = time.perf_counter()
@@ -60,6 +80,9 @@ class FleetRunner:
             retries=self.retries,
             checkpoint=self.checkpoint,
             shard_fn=self.shard_fn,
+            pool=self.pool,
+            on_shard=self.on_shard,
+            stop=self.stop,
         )
         wall = time.perf_counter() - started
 
@@ -68,7 +91,7 @@ class FleetRunner:
         learning = [shard.get("learning", {}) for shard in shard_results]
         aggregate = aggregate_records(records, learning)
 
-        if self.checkpoint is not None:
+        if self.checkpoint is not None and not outcome.stopped:
             self.checkpoint.write_aggregate(canonical_json(aggregate))
 
         return FleetReport(
@@ -79,4 +102,6 @@ class FleetRunner:
             skipped_shards=outcome.skipped,
             wall_seconds=wall,
             elided_events=sum(r.get("elided_events", 0) for r in records),
+            shard_attempts=dict(outcome.attempts),
+            cancelled=outcome.stopped,
         )

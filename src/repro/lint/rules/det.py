@@ -20,10 +20,13 @@ from repro.lint.finding import Finding
 from repro.lint.registry import rule
 
 #: Paths of the determinism contract (ISSUE: simkernel/core/fleet/nas);
-#: ``traces`` joined once the corpus generator moved onto explicit rngs.
-DET_SCOPE = ("simkernel", "core", "fleet", "nas")
+#: ``traces`` joined once the corpus generator moved onto explicit rngs,
+#: ``serve`` when the resident daemon took over the byte-parity pledge
+#: (its one sanctioned wall-clock read, registry metadata, carries an
+#: explicit ``seedlint: disable=DET001``).
+DET_SCOPE = ("simkernel", "core", "fleet", "nas", "serve")
 DET_RNG_SCOPE = DET_SCOPE + ("traces",)
-DET_ORDER_SCOPE = ("core", "fleet")
+DET_ORDER_SCOPE = ("core", "fleet", "serve", "analysis/incremental.py")
 #: Memoization rules also cover the crypto kernels (PR 4 hot paths).
 DET_CACHE_SCOPE = DET_SCOPE + ("crypto",)
 #: Maintenance-timer purity covers everywhere such timers are armed:

@@ -1,0 +1,42 @@
+"""``repro.serve`` — the resident fleet daemon (fleet-as-a-service).
+
+Turns the batch fleet engine into a long-lived service:
+
+* a **warm worker pool** (:class:`repro.fleet.pool.WorkerPool`) whose
+  spawn-started workers pre-import the testbed once via
+  :func:`repro.testbed.preload` and are reused across sweeps, so a
+  submitted sweep pays shard time, not pool spin-up;
+* a **job queue** (:class:`~repro.serve.jobs.JobQueue`) accepting
+  sweep specs (the :func:`repro.fleet.planner.plan_from_spec` wire
+  format) with submit / status / cancel semantics, one sweep at a time
+  (the pool is the parallelism);
+* **streaming aggregation**: shard checkpoints are folded into an
+  :class:`repro.analysis.incremental.AggregateState` as they land, so
+  ``watch`` clients see live percentiles / coverage / learner state,
+  and the final fold *is* the batch aggregate (byte-identical
+  ``aggregate.json`` — the fleet's hard invariant, pinned in
+  ``tests/test_serve.py``);
+* a **run registry** (:class:`~repro.serve.store.RunRegistry`):
+  finished sweeps are stored on disk keyed by plan fingerprint — spec,
+  aggregate, BENCH-style timings — with deterministic cross-run
+  diffing of disruption percentiles and learner coverage;
+* a local **HTTP JSON API** (:class:`~repro.serve.daemon.ServeDaemon`)
+  plus the ``python -m repro.serve`` CLI
+  (``start``/``submit``/``watch``/``runs``/``diff``).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.jobs import Job, JobQueue, JobState
+from repro.serve.store import RunRegistry, diff_runs
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "RunRegistry",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "diff_runs",
+]

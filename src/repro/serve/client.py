@@ -1,0 +1,94 @@
+"""Stdlib HTTP client for the serve daemon (no external deps).
+
+Thin JSON wrapper over :mod:`urllib.request`; every method mirrors one
+daemon route. Non-2xx responses raise :class:`ServeError` carrying the
+status code and the daemon's ``error`` message, so CLI surfaces can
+print exactly what the server said.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.serve.daemon import DEFAULT_PORT
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon response (or no daemon at all)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status else message)
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talk to one ``repro.serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 60.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except (json.JSONDecodeError, AttributeError):
+                message = str(exc.reason)
+            raise ServeError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                0, f"cannot reach daemon at {self.base}: {exc.reason}"
+            ) from exc
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def submit(self, spec: dict) -> dict:
+        return self._request("POST", "/jobs", spec)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str, wait: int | None = None,
+            timeout: float = 10.0, aggregate: bool = True) -> dict:
+        path = f"/jobs/{job_id}?aggregate={'1' if aggregate else '0'}"
+        if wait is not None:
+            path += f"&wait={wait}&timeout={timeout}"
+        return self._request("GET", path)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def runs(self) -> list[dict]:
+        return self._request("GET", "/runs")["runs"]
+
+    def run(self, fingerprint: str) -> dict:
+        return self._request("GET", f"/runs/{fingerprint}")
+
+    def diff(self, fingerprint_a: str, fingerprint_b: str) -> dict:
+        return self._request("GET", f"/diff/{fingerprint_a}/{fingerprint_b}")
+
+    # -- conveniences --------------------------------------------------
+    def wait_done(self, job_id: str, poll_timeout: float = 10.0) -> dict:
+        """Long-poll until the job reaches a terminal state."""
+        status = self.job(job_id, aggregate=False)
+        while status["state"] in ("queued", "running"):
+            status = self.job(job_id, wait=status["version"],
+                              timeout=poll_timeout, aggregate=False)
+        return status

@@ -1,0 +1,175 @@
+"""On-disk run registry: history + cross-run diffing.
+
+Layout (one directory per finished sweep, keyed by plan fingerprint)::
+
+    <registry>/<fingerprint>/
+        spec.json        # the submitted sweep spec
+        aggregate.json   # canonical bytes, identical to the batch CLI's
+        timings.json     # BENCH-style monotonic durations (telemetry)
+        meta.json        # job id, counts, wall-clock timestamp
+
+Everything deterministic is key-sorted; ``aggregate.json`` is stored
+verbatim (the canonical byte form), so registry entries can be
+compared with ``cmp`` against batch run directories. The *only*
+wall-clock read lives in ``meta.json`` — registry metadata is
+explicitly outside the deterministic surface, which is also the one
+sanctioned seedlint exemption in this package.
+
+:func:`diff_runs` compares two aggregates — per-cell disruption
+medians / p90s / coverage and the merged learner state — and is a pure
+function of the two aggregate dicts: diffing the same pair twice
+renders byte-identical output (pinned in ``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+SPEC_NAME = "spec.json"
+AGGREGATE_NAME = "aggregate.json"
+TIMINGS_NAME = "timings.json"
+META_NAME = "meta.json"
+
+
+class RunRegistry:
+    """Run history under one root directory, keyed by fingerprint."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint
+
+    # -- writing -------------------------------------------------------
+    def record(
+        self,
+        fingerprint: str,
+        spec: dict,
+        aggregate_json: str,
+        timings: dict,
+        meta: dict,
+    ) -> Path:
+        """Persist one finished sweep; returns its registry directory."""
+        entry = self.path_for(fingerprint)
+        entry.mkdir(parents=True, exist_ok=True)
+        (entry / SPEC_NAME).write_text(
+            json.dumps(spec, sort_keys=True, indent=1) + "\n")
+        (entry / AGGREGATE_NAME).write_text(aggregate_json)
+        (entry / TIMINGS_NAME).write_text(
+            json.dumps(timings, sort_keys=True, indent=1) + "\n")
+        # Wall-clock is allowed here and only here: registry metadata
+        # records when a run happened on this machine, and never feeds
+        # back into any deterministic artifact.
+        stamped = dict(meta)
+        stamped["recorded_unix"] = time.time()  # seedlint: disable=DET001
+        (entry / META_NAME).write_text(
+            json.dumps(stamped, sort_keys=True, indent=1) + "\n")
+        return entry
+
+    # -- reading -------------------------------------------------------
+    def fingerprints(self) -> list[str]:
+        """Recorded fingerprints, sorted (deterministic listing order)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if (p / AGGREGATE_NAME).is_file())
+
+    def load(self, fingerprint: str) -> dict:
+        """One registry entry: spec, aggregate, timings, meta."""
+        entry = self.path_for(fingerprint)
+        if not (entry / AGGREGATE_NAME).is_file():
+            raise KeyError(f"no registry entry for {fingerprint!r}")
+        return {
+            "fingerprint": fingerprint,
+            "spec": json.loads((entry / SPEC_NAME).read_text()),
+            "aggregate": json.loads((entry / AGGREGATE_NAME).read_text()),
+            "timings": json.loads((entry / TIMINGS_NAME).read_text()),
+            "meta": json.loads((entry / META_NAME).read_text()),
+        }
+
+    def runs(self) -> list[dict]:
+        """Summaries of every recorded run, sorted by fingerprint."""
+        summaries = []
+        for fingerprint in self.fingerprints():
+            entry = self.load(fingerprint)
+            summaries.append({
+                "fingerprint": fingerprint,
+                "kind": entry["spec"].get("kind"),
+                "suite": entry["spec"].get("suite"),
+                "seed": entry["spec"].get("seed"),
+                "tasks": entry["aggregate"].get("tasks"),
+                "cells": len(entry["aggregate"].get("cells", {})),
+                "run_wall_s": entry["timings"].get("run_wall_s"),
+                "job_id": entry["meta"].get("job_id"),
+            })
+        return summaries
+
+    def diff(self, fingerprint_a: str, fingerprint_b: str) -> dict:
+        """Deterministic diff of two recorded runs (see diff_runs)."""
+        return diff_runs(self.load(fingerprint_a)["aggregate"],
+                         self.load(fingerprint_b)["aggregate"],
+                         label_a=fingerprint_a, label_b=fingerprint_b)
+
+
+def _metric_diff(a: float | None, b: float | None) -> dict:
+    delta = (b - a) if (a is not None and b is not None) else None
+    return {"a": a, "b": b, "delta": delta}
+
+
+def diff_runs(
+    aggregate_a: dict,
+    aggregate_b: dict,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> dict:
+    """Cross-run diff of disruption percentiles and learner coverage.
+
+    Pure function of the two aggregate dicts; every collection is
+    iterated in sorted order, so rendering with ``sort_keys=True``
+    yields byte-identical output for the same pair of runs.
+    """
+    cells_a = aggregate_a.get("cells", {})
+    cells_b = aggregate_b.get("cells", {})
+    cells = {}
+    for key in sorted(set(cells_a) | set(cells_b)):
+        cell_a, cell_b = cells_a.get(key), cells_b.get(key)
+        if cell_a is None or cell_b is None:
+            cells[key] = {"only_in": label_b if cell_a is None else label_a}
+            continue
+        cells[key] = {
+            metric: _metric_diff(cell_a.get(metric), cell_b.get(metric))
+            for metric in ("median", "p90", "coverage", "samples")
+        }
+
+    learn_a = aggregate_a.get("learning", {})
+    learn_b = aggregate_b.get("learning", {})
+    causes_a = set(learn_a.get("net_record", {}))
+    causes_b = set(learn_b.get("net_record", {}))
+    best_a = learn_a.get("best_action", {})
+    best_b = learn_b.get("best_action", {})
+    best_changed = {
+        cause: {"a": best_a[cause], "b": best_b[cause]}
+        for cause in sorted(set(best_a) & set(best_b))
+        if best_a[cause] != best_b[cause]
+    }
+    learning = {
+        "causes": {"a": len(causes_a), "b": len(causes_b)},
+        "causes_added": sorted(causes_b - causes_a),
+        "causes_removed": sorted(causes_a - causes_b),
+        "best_action_changed": best_changed,
+    }
+
+    return {
+        "runs": {"a": label_a, "b": label_b},
+        "tasks": {"a": aggregate_a.get("tasks"), "b": aggregate_b.get("tasks")},
+        "cells": cells,
+        "learning": learning,
+    }
+
+
+def render_diff(diff: dict) -> str:
+    """The canonical textual form of a diff (key-sorted, stable)."""
+    return json.dumps(diff, sort_keys=True, indent=1) + "\n"

@@ -13,7 +13,7 @@ from repro.core.online_learning import (
 )
 from repro.core.reset import ResetAction
 from repro.experiments import table4
-from repro.fleet import FleetPlan, FleetRunner, canonical_json, suite_tasks
+from repro.fleet import FleetPlan, FleetRunner, WorkerPool, canonical_json, suite_tasks
 from repro.fleet.cli import main as fleet_main
 from repro.fleet.planner import plan_matrix, shard_tasks
 from repro.infra.failures import FailureClass
@@ -108,6 +108,31 @@ class TestLearningMerge:
         for cause in (200, 203):
             assert merged.best_action(cause) == sequential.best_action(cause)
             assert merged.confidence(cause) == sequential.confidence(cause)
+
+
+class TestWarmPool:
+    def test_pool_reused_across_sweeps_bytes_unchanged(self, tmp_path):
+        """Back-to-back sweeps share one executor, same bytes as cold."""
+        plan = fast_plan()
+        FleetRunner(plan, workers=1, out_dir=str(tmp_path / "cold")).run()
+        with WorkerPool(2) as pool:
+            runner = FleetRunner(plan, pool=pool,
+                                 out_dir=str(tmp_path / "warm1"))
+            assert runner.workers == 2  # pool size wins over the default
+            first = runner.run()
+            second = FleetRunner(plan, pool=pool,
+                                 out_dir=str(tmp_path / "warm2")).run()
+            assert pool.executors_spawned == 1
+        blobs = {(tmp_path / name / "aggregate.json").read_bytes()
+                 for name in ("cold", "warm1", "warm2")}
+        assert len(blobs) == 1
+        assert first.complete and second.complete
+
+    def test_retry_accounting_surfaces(self):
+        report = FleetRunner(fast_plan(), workers=1).run()
+        assert report.total_retries == 0
+        assert report.shard_retries == {}
+        assert set(report.shard_attempts.values()) == {1}
 
 
 class TestReportAccessors:
