@@ -66,9 +66,16 @@ class AggregateState:
             merge_records(self._wire, wire)
 
     def fold_shard(self, shard_result: dict) -> None:
-        """Absorb one shard result (the ``run_shard`` output form)."""
-        self.fold_records(shard_result["tasks"],
-                          [shard_result.get("learning", {})])
+        """Absorb one shard result (the ``run_shard`` output form).
+
+        Tolerant of degenerate shards: missing or null ``tasks`` /
+        ``learning`` fold as the identity element, so
+        ``fold_shard({}) `` is a no-op — an empty shard from a resumed
+        or hand-truncated checkpoint can never crash the streaming
+        aggregate or perturb its result.
+        """
+        self.fold_records(shard_result.get("tasks") or (),
+                          [shard_result.get("learning") or {}])
 
     def merge(self, other: "AggregateState") -> "AggregateState":
         """Fold another partial state into this one (associative)."""

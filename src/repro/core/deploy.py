@@ -56,6 +56,10 @@ def deploy_seed(
     deployment = SeedDeployment(plugin=plugin, stage=stage)
 
     for device in devices:
+        # Mixed cohorts deploy SEED for a subset of UEs: the plugin only
+        # serves the devices actually handed to deploy_seed, so legacy
+        # cohort members see a plain network (single-UE parity).
+        plugin.enroll(device.supi)
         applet = SeedApplet(
             k=device.profile.k,
             clock=lambda sim=device.sim: sim.now,
@@ -92,7 +96,8 @@ def _make_ota_flush(device: Device, applet: SeedApplet, plugin: SeedCorePlugin):
         # Serialise/deserialise across the OTA boundary so nothing
         # object-shaped sneaks through the channel.
         wire = json.dumps(serialize_records(records), sort_keys=True)
-        plugin.receive_sim_records(deserialize_records(json.loads(wire)))
+        plugin.receive_sim_records(
+            deserialize_records(json.loads(wire)), supi=device.supi)
         return True
 
     def flush() -> bool:

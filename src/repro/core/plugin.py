@@ -63,10 +63,18 @@ class SeedCorePlugin:
             config_lookup=core.config_store.suggestion_for,
             custom_actions=custom_actions,
         )
+        self.learning_rate = learning_rate
         self.learner = InfraLearner(
             learning_rate=learning_rate,
             rand=lambda: self.sim.rng.random("seed.learning"),
         )
+        # Isolated cohort members get a private learner each, seeded
+        # from the UE's own "seed.learning" stream (parity with the
+        # learner a single-UE run would have built).
+        self._learners: dict[str, InfraLearner] = {}
+        # SUPIs this deployment serves; None = serve everyone (the
+        # legacy single-UE behaviour and direct-construction tests).
+        self._enrolled: set[str] | None = None
         self._downlinks: dict[str, _DownlinkState] = {}
         self._uplinks: dict[str, UplinkReceiver] = {}
         self.classifications: list[tuple[float, str, Classification]] = []
@@ -81,8 +89,38 @@ class SeedCorePlugin:
         core.seed_plugin = self
 
     # ------------------------------------------------------------------
-    # Per-subscriber channel state
+    # Enrollment + per-subscriber channel state
     # ------------------------------------------------------------------
+    def enroll(self, supi: str) -> None:
+        """Restrict service to enrolled SUPIs (first call flips the
+        default-open policy). Mixed cohorts enroll only their SEED
+        members so legacy UEs see a plain network."""
+        if self._enrolled is None:
+            self._enrolled = set()
+        self._enrolled.add(supi)
+
+    def serves(self, supi: str) -> bool:
+        return self._enrolled is None or supi in self._enrolled
+
+    def learner_for(self, supi: str) -> InfraLearner:
+        """The learner owning this SUPI's crowdsourced records: a
+        private one for isolated cohort members, else the shared one."""
+        if supi and supi in self.core.isolated_supis:
+            learner = self._learners.get(supi)
+            if learner is None:
+                rng = self.core.ue_rng[supi]
+                learner = InfraLearner(
+                    learning_rate=self.learning_rate,
+                    rand=lambda: rng.random("seed.learning"),
+                )
+                self._learners[supi] = learner
+            return learner
+        return self.learner
+
+    def _scoped(self, supi: str) -> str:
+        """The supi to scope store/NMS calls by ('' = global view)."""
+        return supi if supi in self.core.isolated_supis else ""
+
     def _downlink_for(self, supi: str) -> _DownlinkState:
         state = self._downlinks.get(supi)
         if state is None:
@@ -99,12 +137,16 @@ class SeedCorePlugin:
             self._uplinks[supi] = receiver
         return receiver
 
-    def downlinks_idle(self) -> bool:
-        """No diagnosis fragment queued or awaiting an ACK, any UE.
+    def downlinks_idle(self, supi: str = "") -> bool:
+        """No diagnosis fragment queued or awaiting an ACK — for one UE
+        when ``supi`` is given, else across every UE.
 
         Used by the testbed's quiescence predicate: an in-flight
         downlink can still trigger SIM-side diagnosis and resets.
         """
+        if supi:
+            state = self._downlinks.get(supi)
+            return state is None or (not state.queue and not state.awaiting_ack)
         return all(
             not state.queue and not state.awaiting_ack
             for state in self._downlinks.values()
@@ -114,19 +156,24 @@ class SeedCorePlugin:
     # Reject-path hook (AMF + SMF)
     # ------------------------------------------------------------------
     def _on_reject(self, supi: str, plane: Plane, cause: int, context: dict) -> None:
-        congested = self.core.nms.congested()
+        if not self.serves(supi):
+            return
+        scoped = self._scoped(supi)
+        congested = self.core.nms.congested(scoped)
         event = FailureEvent(
             supi=supi,
             origin="active",
             plane=plane,
             cause=cause,
             congested=congested,
-            backoff_seconds=self.core.nms.suggested_backoff(),
+            backoff_seconds=self.core.nms.suggested_backoff(scoped),
         )
         self._classify_and_send(supi, event)
 
     def notice_device_unresponsive(self, supi: str, plane: Plane = Plane.CONTROL) -> None:
         """Passive branch: device response timeout (Figure 8 left)."""
+        if not self.serves(supi):
+            return
         event = FailureEvent(
             supi=supi, origin="passive", plane=plane, device_responded=False
         )
@@ -134,11 +181,19 @@ class SeedCorePlugin:
 
     def notice_device_reject(self, supi: str, plane: Plane, cause: int) -> None:
         """Passive branch: the device rejected a network request."""
+        if not self.serves(supi):
+            return
         event = FailureEvent(supi=supi, origin="passive", plane=plane, cause=cause)
         self._classify_and_send(supi, event)
 
     def _classify_and_send(self, supi: str, event: FailureEvent) -> None:
-        classification = self.tree.classify(event)
+        scoped = self._scoped(supi)
+        if scoped:
+            store = self.core.config_store
+            classification = self.tree.classify(
+                event, config_lookup=lambda kind: store.suggestion_for(kind, scoped))
+        else:
+            classification = self.tree.classify(event)
         self.classifications.append((self.sim.now, supi, classification))
         self.core.cpu.note_seed_diagnosis()
         info = classification.info
@@ -148,7 +203,7 @@ class SeedCorePlugin:
         if classification.needs_online_learning and event.cause is not None:
             # Algorithm 1 lines 11–17: maybe attach a crowdsourced
             # suggestion; otherwise the SIM runs the trial ladder.
-            suggestion = self.learner.suggest(event.cause)
+            suggestion = self.learner_for(supi).suggest(event.cause)
             if suggestion is not None:
                 info = DiagnosisInfo(
                     kind=DiagnosisKind.SUGGESTED_ACTION,
@@ -215,7 +270,7 @@ class SeedCorePlugin:
     # ------------------------------------------------------------------
     def _on_pdu_request(self, supi: str, msg: PduSessionEstablishmentRequest) -> bool:
         """SMF hook: True when the request was a diagnosis report."""
-        if msg.dnn_raw is None:
+        if msg.dnn_raw is None or not self.serves(supi):
             return False
         try:
             report = self._uplink_for(supi).try_parse(msg.dnn_raw)
@@ -235,7 +290,7 @@ class SeedCorePlugin:
         if report.failure_type is FailureType.DNS:
             # Carrier LDNS failure: fail over to a backup resolver and
             # push it to the device's session (B3 modification).
-            new_dns = config_store.rotate_dns()
+            new_dns = config_store.rotate_dns(self._scoped(supi))
             for ctx in self.core.upf.active_sessions(supi):
                 self.core.smf.modify_session(supi, ctx.pdu_session_id, new_dns_server=new_dns)
             engine.note_policy_fix(supi, protocol="dns")
@@ -260,6 +315,8 @@ class SeedCorePlugin:
     # ------------------------------------------------------------------
     # Online-learning orchestrator endpoint
     # ------------------------------------------------------------------
-    def receive_sim_records(self, records: dict[int, dict[ResetAction, int]]) -> None:
+    def receive_sim_records(
+        self, records: dict[int, dict[ResetAction, int]], supi: str = ""
+    ) -> None:
         """SIM record upload (Algorithm 1 lines 8–10) via OTA."""
-        self.learner.crowdsource(records)
+        self.learner_for(supi).crowdsource(records)

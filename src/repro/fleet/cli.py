@@ -48,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="master seed (default: 0)")
     parser.add_argument("--shard-size", type=int, default=4,
                         help="tasks per shard (default: 4)")
+    parser.add_argument("--cohort-size", type=int, default=1,
+                        help="UEs per simulator instance; >1 packs one "
+                             "multi-UE cohort per shard (matrix sweeps "
+                             "only; default: 1)")
     parser.add_argument("--retries", type=int, default=2,
                         help="extra attempts per failed shard (default: 2)")
     parser.add_argument("--out", metavar="DIR",
@@ -80,12 +84,17 @@ def spec_from_args(args: argparse.Namespace) -> dict:
     ran it.
     """
     if args.suite:
+        if getattr(args, "cohort_size", 1) != 1:
+            raise SystemExit("--cohort-size is only supported for matrix sweeps")
         return {"kind": "suite", "suite": args.suite, "runs": args.runs,
                 "seed": args.seed, "shard_size": args.shard_size}
-    return {"kind": "matrix", "scenarios": args.scenario,
+    spec = {"kind": "matrix", "scenarios": args.scenario,
             "modes": [m.value for m in _parse_modes(args.modes)],
             "replicas": args.replicas, "seed": args.seed,
             "shard_size": args.shard_size}
+    if getattr(args, "cohort_size", 1) != 1:
+        spec["cohort_size"] = args.cohort_size
+    return spec
 
 
 def _build_plan(args: argparse.Namespace) -> FleetPlan:

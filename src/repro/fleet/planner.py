@@ -70,19 +70,32 @@ class TaskSpec:
 
 @dataclass(frozen=True)
 class Shard:
-    """A batch of tasks executed by one worker invocation."""
+    """A batch of tasks executed by one worker invocation.
+
+    ``cohort_size > 1`` marks a *cohort shard*: the worker runs all of
+    its tasks as one multi-UE :class:`repro.testbed.harness.Cohort` on
+    a single simulator instead of one testbed per task. Each task still
+    carries its own seed, so the per-task records are byte-identical
+    either way. The field is omitted from the wire form when 1, keeping
+    plan fingerprints and checkpoints for non-cohort sweeps unchanged.
+    """
 
     shard_id: int
     tasks: tuple[TaskSpec, ...]
+    cohort_size: int = 1
 
     def to_json(self) -> dict:
-        return {"shard_id": self.shard_id,
+        spec = {"shard_id": self.shard_id,
                 "tasks": [task.to_json() for task in self.tasks]}
+        if self.cohort_size != 1:
+            spec["cohort_size"] = self.cohort_size
+        return spec
 
     @classmethod
     def from_json(cls, data: dict) -> "Shard":
         return cls(shard_id=data["shard_id"],
-                   tasks=tuple(TaskSpec.from_json(t) for t in data["tasks"]))
+                   tasks=tuple(TaskSpec.from_json(t) for t in data["tasks"]),
+                   cohort_size=data.get("cohort_size", 1))
 
 
 @dataclass
@@ -192,14 +205,29 @@ def repeat_tasks(
 # ---------------------------------------------------------------------------
 # Sharding
 # ---------------------------------------------------------------------------
-def shard_tasks(tasks: list[TaskSpec], shard_size: int = DEFAULT_SHARD_SIZE) -> tuple[Shard, ...]:
-    """Pack tasks into shards of ``shard_size`` (last may be smaller)."""
+def shard_tasks(
+    tasks: list[TaskSpec],
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    cohort_size: int = 1,
+) -> tuple[Shard, ...]:
+    """Pack tasks into shards of ``shard_size`` (last may be smaller).
+
+    ``cohort_size > 1`` switches to one-cohort-per-shard packing: each
+    shard holds up to ``cohort_size`` tasks and is executed as a single
+    multi-UE simulator instance (``shard_size`` is ignored — the cohort
+    IS the shard).
+    """
     if shard_size < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if cohort_size < 1:
+        raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
+    if cohort_size > 1:
+        shard_size = cohort_size
     shards = []
     for shard_id, start in enumerate(range(0, len(tasks), shard_size)):
         shards.append(Shard(shard_id=shard_id,
-                            tasks=tuple(tasks[start:start + shard_size])))
+                            tasks=tuple(tasks[start:start + shard_size]),
+                            cohort_size=cohort_size))
     return tuple(shards)
 
 
@@ -209,13 +237,14 @@ def plan_matrix(
     replicas: int = 1,
     master_seed: int = 0,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    cohort_size: int = 1,
 ) -> FleetPlan:
     """Plan a scenario-matrix sweep (the generic CLI path)."""
     scenarios = filter_scenarios(scenario_patterns)
     modes = list(modes) if modes else list(HandlingMode)
     tasks = matrix_tasks(scenarios, modes, replicas, master_seed)
     return FleetPlan(master_seed=master_seed,
-                     shards=shard_tasks(tasks, shard_size))
+                     shards=shard_tasks(tasks, shard_size, cohort_size))
 
 
 def resolve_task_scenario(task: TaskSpec) -> Scenario:
@@ -232,9 +261,14 @@ def plan_from_spec(spec: dict) -> FleetPlan:
     Two kinds::
 
         {"kind": "matrix", "scenarios": ["dp_*"], "modes": ["legacy",
-         "seed_r"], "replicas": 5, "seed": 42, "shard_size": 4}
+         "seed_r"], "replicas": 5, "seed": 42, "shard_size": 4,
+         "cohort_size": 1}
         {"kind": "suite", "suite": "table4" | "coverage", "runs": 30,
          "seed": 4000, "shard_size": 4}
+
+    ``cohort_size > 1`` (matrix sweeps only) packs one multi-UE cohort
+    per shard instead of independent single-UE testbeds; per-task
+    records are byte-identical either way.
 
     This is the single spec → plan mapping: ``python -m repro.fleet``,
     ``python -m repro.serve submit``, and the daemon's job queue all
@@ -244,7 +278,10 @@ def plan_from_spec(spec: dict) -> FleetPlan:
     """
     kind = spec.get("kind", "matrix")
     shard_size = int(spec.get("shard_size", DEFAULT_SHARD_SIZE))
+    cohort_size = int(spec.get("cohort_size", 1))
     if kind == "suite":
+        if cohort_size != 1:
+            raise ValueError("cohort_size is only supported for matrix sweeps")
         suite = spec.get("suite")
         runs = int(spec.get("runs", 30))
         seed = int(spec.get("seed", 0))
@@ -273,6 +310,7 @@ def plan_from_spec(spec: dict) -> FleetPlan:
         replicas=int(spec.get("replicas", 1)),
         master_seed=int(spec.get("seed", 0)),
         shard_size=shard_size,
+        cohort_size=cohort_size,
     )
 
 

@@ -1,10 +1,16 @@
-"""Shard execution: one fresh ``Testbed`` per task.
+"""Shard execution: one fresh ``Testbed`` per task, or one ``Cohort``.
 
 ``run_shard`` is the unit the process pool ships to workers; it takes
 and returns plain JSON-safe dicts so it pickles cheaply and its output
 can be appended verbatim to the checkpoint JSONL. Each task builds its
 own simulator seeded from the task spec, so results depend only on the
 spec — never on which worker ran it or in what order.
+
+Cohort shards (``cohort_size > 1``) run all of the shard's tasks as a
+single multi-UE simulator instance. Each UE keeps its task's seed as
+its private stream seed, so the per-task records are byte-identical to
+the one-testbed-per-task path — the only difference is the audit-only
+``elided_events`` field, which reports the cohort-wide count.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 from repro.core.online_learning import merge_records
 from repro.device.android import AndroidTimers
 from repro.fleet.planner import Shard, TaskSpec
-from repro.testbed.harness import HandlingMode, run_one
+from repro.testbed.harness import Cohort, CohortMember, HandlingMode, run_one
 from repro.testbed.scenarios import scenario_by_name
 
 
@@ -35,7 +41,15 @@ def run_task(task: TaskSpec) -> tuple[dict, dict]:
         android_timers=_timers_from_spec(task.android_timers),
         horizon=task.horizon,
     )
-    record = {
+    record = _task_record(task, result, result.meta.get("elided_events", 0))
+    return record, testbed.learning_records()
+
+
+def _task_record(task: TaskSpec, result, elided_events: int) -> dict:
+    """The checkpoint record for one completed task (shared by both
+    execution paths — field-for-field identical)."""
+    scenario = scenario_by_name(task.scenario)
+    return {
         "task_id": task.task_id,
         "scenario": task.scenario,
         "handling": task.handling,
@@ -49,16 +63,47 @@ def run_task(task: TaskSpec) -> tuple[dict, dict]:
         # Heap entries discarded by quiescent termination (0 under
         # REPRO_FULL_HORIZON). Audit data only: the aggregator reads
         # known keys, so this never enters aggregate.json.
-        "elided_events": result.meta.get("elided_events", 0),
+        "elided_events": elided_events,
     }
-    return record, testbed.learning_records()
+
+
+def run_cohort_tasks(tasks: tuple[TaskSpec, ...]) -> tuple[list[dict], dict]:
+    """Run a shard's tasks as one multi-UE cohort.
+
+    Each task becomes one cohort member with the task's own seed, so
+    its record matches the single-testbed path byte for byte. The
+    cohort's simulator seed (``tasks[0].seed``) is inert: with every
+    member isolated, no draw ever touches the shared stream set.
+    """
+    members = [
+        CohortMember(
+            scenario=scenario_by_name(task.scenario),
+            handling=HandlingMode(task.handling),
+            seed=task.seed,
+            android_timers=_timers_from_spec(task.android_timers),
+            horizon=task.horizon,
+        )
+        for task in tasks
+    ]
+    cohort = Cohort(members, seed=tasks[0].seed)
+    outcome = cohort.run()
+    records = []
+    learning: dict[str, dict[str, int]] = {}
+    for task, result, slot in zip(tasks, outcome.results, cohort.slots):
+        records.append(_task_record(task, result, outcome.elided_events))
+        merge_records(learning, cohort.learning_records_for(slot))
+    return records, learning
 
 
 def run_shard(payload: dict) -> dict:
     """Execute one shard (as produced by ``Shard.to_json``)."""
     shard = Shard.from_json(payload)
+    if shard.cohort_size > 1 and shard.tasks:
+        records, learning = run_cohort_tasks(shard.tasks)
+        return {"shard_id": shard.shard_id, "tasks": records,
+                "learning": learning}
     records = []
-    learning: dict[str, dict[str, int]] = {}
+    learning = {}
     for task in shard.tasks:
         record, task_learning = run_task(task)
         records.append(record)

@@ -80,6 +80,9 @@ class Amf:
         # lower-layer (RLC) retransmissions that recover fast transients
         # without waiting for the NAS retry timer.
         self._parked: list[tuple[str, NasMessage]] = []
+        #: supi -> per-UE RngStreams (cohort isolation); empty for
+        #: single-UE testbeds, where RAND draws use sim.rng.
+        self.ue_rng: dict = {}
         self.engine.on_clear.append(self._on_failure_cleared)
 
     # ------------------------------------------------------------------
@@ -106,7 +109,7 @@ class Amf:
     # ------------------------------------------------------------------
     def _process_registration(self, supi: str, msg: RegistrationRequest) -> None:
         self.cpu.note_procedure()
-        self.nms.note_core_event()
+        self.nms.note_core_event(supi=supi)
         self.engine.note_retry(supi, FailureClass.CONTROL_PLANE)
         if msg.guti is None:
             self.engine.note_fresh_identity(supi)
@@ -158,7 +161,9 @@ class Amf:
 
         # Mutual authentication (Milenage AKA).
         mil = record.milenage()
-        rand = bytes(self.sim.rng.stream("amf.rand").getrandbits(8) for _ in range(16))
+        rng = self.ue_rng.get(supi) if self.ue_rng else None
+        rand_bits = (rng or self.sim.rng).stream("amf.rand").getrandbits
+        rand = bytes(rand_bits(8) for _ in range(16))
         if ies.is_dflag(rand):  # astronomically unlikely; reserved value
             rand = b"\x00" * 15 + b"\x01"
         sqn = record.next_sqn()

@@ -10,7 +10,7 @@ device's cached values and this store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 @dataclass
@@ -56,12 +56,22 @@ class UserPolicy:
 
 
 class ConfigStore:
-    """Holds the current network configuration plus per-user policies."""
+    """Holds the current network configuration plus per-user policies.
+
+    Cohort runs give each isolated UE a **copy-on-write overlay** of the
+    global :class:`NetworkConfig`: scenario mutations scoped to one SUPI
+    land on that UE's overlay and are invisible to every other UE, which
+    is what makes a cohort member's behaviour byte-identical to a
+    single-UE run against its own private store. Reads resolve overlay
+    first (:meth:`config_for`); the classic single-UE path (no ``supi``)
+    keeps mutating the shared global config exactly as before.
+    """
 
     def __init__(self, config: NetworkConfig | None = None) -> None:
         self.config = config or NetworkConfig()
         self.user_policies: dict[str, UserPolicy] = {}
         self.revision = 0
+        self._overlays: dict[str, NetworkConfig] = {}
 
     def policy_for(self, supi: str) -> UserPolicy:
         policy = self.user_policies.get(supi)
@@ -70,20 +80,46 @@ class ConfigStore:
             self.user_policies[supi] = policy
         return policy
 
+    # -- per-UE overlays (cohort isolation) ----------------------------
+    def config_for(self, supi: str = "") -> NetworkConfig:
+        """The config a subscriber sees: their overlay, else the global."""
+        if supi and self._overlays:
+            overlay = self._overlays.get(supi)
+            if overlay is not None:
+                return overlay
+        return self.config
+
+    def overlay_for(self, supi: str) -> NetworkConfig:
+        """The subscriber's private overlay, forked from the global
+        config on first touch (copy-on-write)."""
+        overlay = self._overlays.get(supi)
+        if overlay is None:
+            overlay = replace(self.config)
+            self._overlays[supi] = overlay
+        return overlay
+
+    def scoped(self, supi: str) -> "ScopedConfigStore":
+        return ScopedConfigStore(self, supi)
+
+    def _target(self, supi: str) -> NetworkConfig:
+        return self.overlay_for(supi) if supi else self.config
+
     # -- mutation (operations staff / SEED recovery actions) -----------
-    def set_required_dnn(self, dnn: str) -> None:
+    def set_required_dnn(self, dnn: str, supi: str = "") -> None:
         """Roll the allowed DNN set (the classic outdated-APN scenario)."""
-        self.config.allowed_dnns = (dnn,)
-        self.config.default_dnn = dnn
+        config = self._target(supi)
+        config.allowed_dnns = (dnn,)
+        config.default_dnn = dnn
         self.revision += 1
 
-    def rotate_dns(self) -> str:
+    def rotate_dns(self, supi: str = "") -> str:
         """Fail over to the next DNS server in the pool."""
-        self.config.active_dns_index = (
-            self.config.active_dns_index + 1
-        ) % len(self.config.dns_servers)
+        config = self._target(supi)
+        config.active_dns_index = (
+            config.active_dns_index + 1
+        ) % len(config.dns_servers)
         self.revision += 1
-        return self.config.active_dns
+        return config.active_dns
 
     def clear_block(self, supi: str, protocol: str) -> bool:
         """Remove blocking policy entries for a protocol; True if any."""
@@ -96,9 +132,9 @@ class ConfigStore:
         return False
 
     # -- suggested-config lookup for SEED (paper Appendix A) -----------
-    def suggestion_for(self, config_kind: str) -> dict:
+    def suggestion_for(self, config_kind: str, supi: str = "") -> dict:
         """Return the up-to-date value for a config kind name."""
-        c = self.config
+        c = self.config_for(supi)
         table = {
             "supported_rat": {"supported_rats": list(c.supported_rats)},
             "plmn_list": {"plmn": c.plmn},
@@ -115,3 +151,46 @@ class ConfigStore:
             },
         }
         return table.get(config_kind, {})
+
+
+class ScopedConfigStore:
+    """A per-UE facade over a shared :class:`ConfigStore`.
+
+    Quacks like the store for everything scenario builders and the SEED
+    plugin touch, but ``.config`` resolves to the UE's copy-on-write
+    overlay and the mutators bind the UE's SUPI — so a cohort member's
+    scenario setup mutates only its own view of the network.
+    """
+
+    __slots__ = ("_store", "_supi")
+
+    def __init__(self, store: ConfigStore, supi: str) -> None:
+        self._store = store
+        self._supi = supi
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self._store.overlay_for(self._supi)
+
+    @property
+    def user_policies(self) -> dict[str, UserPolicy]:
+        return self._store.user_policies
+
+    @property
+    def revision(self) -> int:
+        return self._store.revision
+
+    def policy_for(self, supi: str) -> UserPolicy:
+        return self._store.policy_for(supi)
+
+    def set_required_dnn(self, dnn: str) -> None:
+        self._store.set_required_dnn(dnn, self._supi)
+
+    def rotate_dns(self) -> str:
+        return self._store.rotate_dns(self._supi)
+
+    def clear_block(self, supi: str, protocol: str) -> bool:
+        return self._store.clear_block(supi, protocol)
+
+    def suggestion_for(self, config_kind: str) -> dict:
+        return self._store.suggestion_for(config_kind, self._supi)

@@ -12,16 +12,25 @@ from repro.infra.config_store import ConfigStore, NetworkConfig
 from repro.infra.cpu import CpuModel
 from repro.infra.failures import FailureEngine
 from repro.infra.gnb import Gnb, RadioLink
-from repro.infra.nms import Nms
+from repro.infra.nms import Nms, ScopedNms
 from repro.infra.smf import Smf
 from repro.infra.subscriber_db import SubscriberDb
 from repro.infra.upf import Upf
 from repro.nas.messages import NasMessage
+from repro.simkernel.rng import RngStreams
 from repro.simkernel.simulator import Simulator
 
 
 class CoreNetwork:
-    """The network side of the testbed."""
+    """The network side of the testbed.
+
+    Cohort support: :meth:`isolate_ue` registers a per-UE
+    :class:`RngStreams` (shared by reference with the gNB/UPF/AMF, which
+    fall back to ``sim.rng`` for unregistered SUPIs) and flips the NMS
+    to per-SUPI gauges for that subscriber. With every UE isolated, a
+    cohort member's interaction with the core is byte-identical to a
+    single-UE run seeded with the same derived seed.
+    """
 
     def __init__(
         self,
@@ -35,6 +44,10 @@ class CoreNetwork:
         self.engine = FailureEngine(sim)
         self.nms = Nms(sim)
         self.cpu = CpuModel()
+        #: supi -> per-UE RngStreams; shared by reference with gnb/upf/amf.
+        self.ue_rng: dict[str, RngStreams] = {}
+        #: SUPIs with full parity isolation (rng + nms + config overlay).
+        self.isolated_supis: set[str] = set()
         self.gnb = Gnb(sim, radio_link)
         self.upf = Upf(sim, self.engine, self.config_store)
         self.amf = Amf(
@@ -45,9 +58,23 @@ class CoreNetwork:
             sim, self.gnb, self.subscriber_db, self.config_store,
             self.engine, self.upf, self.nms, self.cpu,
         )
+        self.gnb.ue_rng = self.ue_rng
+        self.upf.ue_rng = self.ue_rng
+        self.amf.ue_rng = self.ue_rng
         self.gnb.attach_core(self._route_uplink)
         self.amf.cleanup_hook = self.purge_sessions
         self.seed_plugin = None  # set by repro.core.plugin when deployed
+
+    def isolate_ue(self, supi: str, rng: RngStreams,
+                   interference: bool = False) -> None:
+        """Register a cohort member's private RNG streams; unless the
+        cohort runs with cross-UE interference, also isolate its NMS
+        view so no shared gauges couple it to its neighbours."""
+        self.ue_rng[supi] = rng
+        self.smf.assign_subnet(supi)
+        if not interference:
+            self.isolated_supis.add(supi)
+            self.nms.isolate(supi)
 
     def purge_sessions(self, supi: str) -> None:
         """Release all user-plane state for a (re)registering UE."""
@@ -66,7 +93,7 @@ class CoreNetwork:
         self.purge_sessions(supi)
 
     def _route_uplink(self, supi: str, message: NasMessage) -> None:
-        self.nms.note_ran_event()
+        self.nms.note_ran_event(supi=supi)
         if message.is_session_management:
             self.smf.handle(supi, message)
         else:
@@ -85,3 +112,23 @@ class CoreNetwork:
         """Add a subscriber; the DIAG escort DNN is subscribed by
         default (SEED provisions it alongside the applet, §4.4.1)."""
         return self.subscriber_db.provision(supi, k, opc, subscribed_dnns)
+
+
+class ScopedCoreNetwork:
+    """A per-UE view of a shared core (cohort runs).
+
+    Scenario builders written against a single-UE :class:`Testbed`
+    mutate ``core.config_store`` / ``core.nms`` globally; this facade
+    rebinds exactly those two to the UE's scoped views and delegates
+    everything else (AMF, SMF, UPF, engine, subscriber DB, ...) to the
+    real core, so the builders run unchanged inside a cohort.
+    """
+
+    def __init__(self, core: CoreNetwork, supi: str) -> None:
+        self._core = core
+        self.scoped_supi = supi
+        self.config_store = core.config_store.scoped(supi)
+        self.nms = ScopedNms(core.nms, supi)
+
+    def __getattr__(self, name: str):
+        return getattr(self._core, name)

@@ -111,10 +111,42 @@ class FailureEngine:
         # Observers notified on every clear (the measurement harness
         # uses this to re-check connectivity without polling).
         self.on_clear: list = []
+        # Per-subscriber indexes. ``active`` stays the canonical
+        # ordered list; these buckets exist so the per-procedure
+        # queries and per-clear notifications a cohort of N UEs issues
+        # stay O(own rules), not O(all N members' rules). Key "" holds
+        # unscoped rules (``spec.supi == ""`` applies to everyone).
+        self._active_by_supi: dict[str, list[ActiveFailure]] = {}
+        self._observers_by_supi: dict[str, list] = {}
+
+    def on_clear_for(self, supi: str, callback) -> None:
+        """Register a clear observer filtered to one subscriber.
+
+        Unscoped failures (``spec.supi == ""``) notify everyone; scoped
+        failures notify only their subscriber. This keeps cohort
+        members from waking each other's meters on every clear.
+        """
+        self._observers_by_supi.setdefault(supi, []).append(callback)
+
+    def scoped_active(self, supi: str):
+        """Active failures that can apply to ``supi``, injection order.
+
+        The union of unscoped rules and the subscriber's own bucket,
+        merged by ``failure_id`` (monotonic with injection) so callers
+        observe exactly the order a full ``active`` scan would.
+        """
+        own = self._active_by_supi.get(supi)
+        unscoped = self._active_by_supi.get("")
+        if not unscoped:
+            return own or ()
+        if not own:
+            return unscoped
+        return sorted(own + unscoped, key=lambda f: f.failure_id)
 
     def inject(self, spec: FailureSpec) -> ActiveFailure:
         failure = ActiveFailure(spec=spec, injected_at=self.sim.now)
         self.active.append(failure)
+        self._active_by_supi.setdefault(spec.supi, []).append(failure)
         self.history.append(failure)
         if ClearTrigger.AFTER_DURATION in spec.clear_triggers and spec.duration > 0:
             failure.clear_event = self.sim.schedule(
@@ -139,8 +171,18 @@ class FailureEngine:
         failure.cleared_by = trigger
         if failure in self.active:
             self.active.remove(failure)
+        bucket = self._active_by_supi.get(failure.spec.supi)
+        if bucket is not None and failure in bucket:
+            bucket.remove(failure)
         for observer in self.on_clear:
             observer(failure)
+        if failure.spec.supi:
+            for observer in self._observers_by_supi.get(failure.spec.supi, ()):
+                observer(failure)
+        else:
+            for observers in self._observers_by_supi.values():
+                for observer in observers:
+                    observer(failure)
 
     # ------------------------------------------------------------------
     # Queries used by AMF / SMF / UPF
@@ -150,8 +192,8 @@ class FailureEngine:
     ) -> list[ActiveFailure]:
         return [
             f
-            for f in self.active
-            if f.applies_to(supi)
+            for f in self.scoped_active(supi)
+            if not f.cleared
             and f.spec.failure_class is failure_class
             and (mode is None or f.spec.mode is mode)
         ]
@@ -159,8 +201,8 @@ class FailureEngine:
     def blocking_rules(self, supi: str) -> list[ActiveFailure]:
         return [
             f
-            for f in self.active
-            if f.applies_to(supi)
+            for f in self.scoped_active(supi)
+            if not f.cleared
             and f.spec.mode in (FailureMode.BLOCK, FailureMode.DNS_OUTAGE)
         ]
 
@@ -187,8 +229,8 @@ class FailureEngine:
 
     def note_config_presented(self, supi: str, values: dict) -> None:
         """The device presented configuration ``values`` (field→value)."""
-        for failure in list(self.active):
-            if not failure.applies_to(supi):
+        for failure in list(self.scoped_active(supi)):
+            if failure.cleared:
                 continue
             if ClearTrigger.ON_CONFIG_MATCH not in failure.spec.clear_triggers:
                 continue
@@ -197,13 +239,13 @@ class FailureEngine:
                 self._clear(failure, ClearTrigger.ON_CONFIG_MATCH)
 
     def note_session_reset(self, supi: str) -> None:
-        for failure in list(self.active):
-            if failure.applies_to(supi) and ClearTrigger.ON_SESSION_RESET in failure.spec.clear_triggers:
+        for failure in list(self.scoped_active(supi)):
+            if not failure.cleared and ClearTrigger.ON_SESSION_RESET in failure.spec.clear_triggers:
                 self._clear(failure, ClearTrigger.ON_SESSION_RESET)
 
     def note_policy_fix(self, supi: str, protocol: str = "") -> None:
-        for failure in list(self.active):
-            if not failure.applies_to(supi):
+        for failure in list(self.scoped_active(supi)):
+            if failure.cleared:
                 continue
             if ClearTrigger.ON_POLICY_FIX not in failure.spec.clear_triggers:
                 continue
@@ -212,8 +254,8 @@ class FailureEngine:
             self._clear(failure, ClearTrigger.ON_POLICY_FIX)
 
     def note_user_action(self, supi: str) -> None:
-        for failure in list(self.active):
-            if failure.applies_to(supi) and ClearTrigger.ON_USER_ACTION in failure.spec.clear_triggers:
+        for failure in list(self.scoped_active(supi)):
+            if not failure.cleared and ClearTrigger.ON_USER_ACTION in failure.spec.clear_triggers:
                 self._clear(failure, ClearTrigger.ON_USER_ACTION)
 
     def clear_all(self) -> None:

@@ -34,6 +34,11 @@ class RadioLink:
     def sample(self, sim: Simulator, stream: str) -> float:
         return sim.rng.gauss_clamped(stream, self.mean, self.stdev, self.floor)
 
+    def sample_from(self, rng, stream: str) -> float:
+        """Same draw as :meth:`sample`, from an explicit stream set —
+        cohort runs pass the UE's private :class:`RngStreams`."""
+        return rng.gauss_clamped(stream, self.mean, self.stdev, self.floor)
+
 
 class Gnb:
     """Access node connecting registered devices to the core."""
@@ -48,6 +53,9 @@ class Gnb:
         self.uplink_messages = 0
         self.downlink_messages = 0
         self.radio_up = True
+        #: supi -> per-UE RngStreams (cohort isolation); empty for
+        #: single-UE testbeds, where every draw uses sim.rng.
+        self.ue_rng: dict = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -74,7 +82,9 @@ class Gnb:
         if not self.radio_up:
             return  # radio access broken: out of SEED's scope (§4.5)
         self.uplink_messages += 1
-        delay = self.link.sample(self.sim, "gnb.uplink")
+        rng = self.ue_rng.get(supi) if self.ue_rng else None
+        delay = self.link.sample_from(rng, "gnb.uplink") if rng is not None \
+            else self.link.sample(self.sim, "gnb.uplink")
         self.sim.schedule(delay, self._core_handler, supi, message, label="gnb:uplink")
 
     def downlink(self, supi: str, message: NasMessage) -> None:
@@ -83,7 +93,9 @@ class Gnb:
         if handler is None or not self.radio_up:
             return
         self.downlink_messages += 1
-        delay = self.link.sample(self.sim, "gnb.downlink")
+        rng = self.ue_rng.get(supi) if self.ue_rng else None
+        delay = self.link.sample_from(rng, "gnb.downlink") if rng is not None \
+            else self.link.sample(self.sim, "gnb.downlink")
         self.sim.schedule(delay, handler, message, label="gnb:downlink")
 
     # ------------------------------------------------------------------

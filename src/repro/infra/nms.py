@@ -38,7 +38,16 @@ class LoadGauge:
 
 
 class Nms:
-    """Per-component load gauges plus congestion thresholds."""
+    """Per-component load gauges plus congestion thresholds.
+
+    Cohort isolation: a SUPI registered through :meth:`isolate` gets its
+    own pair of gauges and its own forced-congestion pin, so one UE's
+    load (or a scenario's forced congestion) never leaks into another
+    isolated UE's view — the per-UE parity invariant. Non-isolated
+    SUPIs (and calls without a ``supi``) share the global gauges, which
+    is both the legacy single-UE behaviour and the cross-UE
+    interference mode.
+    """
 
     def __init__(
         self,
@@ -53,19 +62,58 @@ class Nms:
         self.core_congestion_threshold = core_congestion_threshold
         self.events: list[tuple[float, str]] = []
         self._forced_congestion: str | None = None
+        self._isolated: set[str] = set()
+        self._ue_ran: dict[str, LoadGauge] = {}
+        self._ue_core: dict[str, LoadGauge] = {}
+        self._ue_forced: dict[str, str] = {}
 
-    def note_ran_event(self, weight: float = 1.0) -> None:
-        self.ran_load.bump(self.sim.now, weight)
+    # -- cohort isolation ----------------------------------------------
+    def isolate(self, supi: str) -> None:
+        """Give ``supi`` private gauges + congestion state from now on."""
+        self._isolated.add(supi)
 
-    def note_core_event(self, weight: float = 1.0) -> None:
-        self.core_load.bump(self.sim.now, weight)
+    def _gauge(self, table: dict[str, LoadGauge], supi: str) -> LoadGauge:
+        gauge = table.get(supi)
+        if gauge is None:
+            gauge = LoadGauge()
+            table[supi] = gauge
+        return gauge
 
-    def force_congestion(self, which: str | None) -> None:
+    def note_ran_event(self, weight: float = 1.0, supi: str = "") -> None:
+        if supi and supi in self._isolated:
+            self._gauge(self._ue_ran, supi).bump(self.sim.now, weight)
+        else:
+            self.ran_load.bump(self.sim.now, weight)
+
+    def note_core_event(self, weight: float = 1.0, supi: str = "") -> None:
+        if supi and supi in self._isolated:
+            self._gauge(self._ue_core, supi).bump(self.sim.now, weight)
+        else:
+            self.core_load.bump(self.sim.now, weight)
+
+    def force_congestion(self, which: str | None, supi: str = "") -> None:
         """Test/scenario hook: pin congestion state ('ran'/'core'/None)."""
-        self._forced_congestion = which
+        if supi and supi in self._isolated:
+            if which is None:
+                self._ue_forced.pop(supi, None)
+            else:
+                self._ue_forced[supi] = which
+        else:
+            self._forced_congestion = which
 
-    def congested(self) -> str | None:
+    def congested(self, supi: str = "") -> str | None:
         """Return 'ran', 'core', or None."""
+        if supi and supi in self._isolated:
+            forced = self._ue_forced.get(supi)
+            if forced is not None:
+                return forced
+            core = self._ue_core.get(supi)
+            if core is not None and core.value(self.sim.now) > self.core_congestion_threshold:
+                return "core"
+            ran = self._ue_ran.get(supi)
+            if ran is not None and ran.value(self.sim.now) > self.ran_congestion_threshold:
+                return "ran"
+            return None
         if self._forced_congestion is not None:
             return self._forced_congestion
         if self.core_load.value(self.sim.now) > self.core_congestion_threshold:
@@ -74,9 +122,9 @@ class Nms:
             return "ran"
         return None
 
-    def suggested_backoff(self) -> float:
+    def suggested_backoff(self, supi: str = "") -> float:
         """Backoff timer embedded in congestion warnings (§5.2)."""
-        which = self.congested()
+        which = self.congested(supi)
         if which == "core":
             return 10.0
         if which == "ran":
@@ -85,3 +133,35 @@ class Nms:
 
     def log(self, message: str) -> None:
         self.events.append((self.sim.now, message))
+
+
+class ScopedNms:
+    """Per-UE facade binding every NMS call to one SUPI (cohort view)."""
+
+    __slots__ = ("_nms", "_supi")
+
+    def __init__(self, nms: Nms, supi: str) -> None:
+        self._nms = nms
+        self._supi = supi
+
+    @property
+    def events(self) -> list[tuple[float, str]]:
+        return self._nms.events
+
+    def note_ran_event(self, weight: float = 1.0) -> None:
+        self._nms.note_ran_event(weight, supi=self._supi)
+
+    def note_core_event(self, weight: float = 1.0) -> None:
+        self._nms.note_core_event(weight, supi=self._supi)
+
+    def force_congestion(self, which: str | None) -> None:
+        self._nms.force_congestion(which, supi=self._supi)
+
+    def congested(self) -> str | None:
+        return self._nms.congested(self._supi)
+
+    def suggested_backoff(self) -> float:
+        return self._nms.suggested_backoff(self._supi)
+
+    def log(self, message: str) -> None:
+        self._nms.log(message)

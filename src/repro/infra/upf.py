@@ -83,6 +83,23 @@ class Upf:
         # Bound draw on the memoized latency stream; same stream, same
         # draw sequence as rng.gauss_clamped("upf.latency", ...).
         self._latency_gauss = sim.rng.stream("upf.latency").gauss
+        #: supi -> per-UE RngStreams (cohort isolation); empty for
+        #: single-UE testbeds.
+        self.ue_rng: dict = {}
+        # Per-supi bound gauss draws, same memoization as the shared one.
+        self._ue_latency_gauss: dict[str, Callable[[float, float], float]] = {}
+
+    def _latency_draw(self, supi: str) -> Callable[[float, float], float]:
+        if not self.ue_rng:
+            return self._latency_gauss
+        gauss = self._ue_latency_gauss.get(supi)
+        if gauss is None:
+            rng = self.ue_rng.get(supi)
+            if rng is None:
+                return self._latency_gauss
+            gauss = rng.stream("upf.latency").gauss
+            self._ue_latency_gauss[supi] = gauss
+        return gauss
 
     # ------------------------------------------------------------------
     # Session management (driven by the SMF)
@@ -124,7 +141,7 @@ class Upf:
         if on_response is not None:
             reply = self._service_reply(packet, ctx)
             if reply is not None:
-                gauss = self._latency_gauss(
+                gauss = self._latency_draw(ctx.supi)(
                     self.ONE_WAY_LATENCY_MEAN, self.ONE_WAY_LATENCY_STDEV
                 )
                 rtt = 2 * (gauss if gauss > 0.002 else 0.002)
@@ -196,9 +213,9 @@ class Upf:
             direction_value = "uplink" if uplink else "downlink"
             if policy.blocks(packet.protocol.value, direction_value, port):
                 return True
-        for failure in self.engine.active:
+        for failure in self.engine.scoped_active(supi):
             spec = failure.spec
-            if spec.mode is not FailureMode.BLOCK or not failure.applies_to(supi):
+            if spec.mode is not FailureMode.BLOCK or failure.cleared:
                 continue
             if spec.block_protocol and spec.block_protocol != packet.protocol.value:
                 continue

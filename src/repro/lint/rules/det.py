@@ -23,8 +23,11 @@ from repro.lint.registry import rule
 #: ``traces`` joined once the corpus generator moved onto explicit rngs,
 #: ``serve`` when the resident daemon took over the byte-parity pledge
 #: (its one sanctioned wall-clock read, registry metadata, carries an
-#: explicit ``seedlint: disable=DET001``).
-DET_SCOPE = ("simkernel", "core", "fleet", "nas", "serve")
+#: explicit ``seedlint: disable=DET001``), ``testbed``/``infra`` when
+#: cohort runs made their per-UE streams part of the byte-parity
+#: invariant (wall reads there are perf_counter telemetry only).
+DET_SCOPE = ("simkernel", "core", "fleet", "nas", "serve", "testbed",
+             "infra")
 DET_RNG_SCOPE = DET_SCOPE + ("traces",)
 DET_ORDER_SCOPE = ("core", "fleet", "serve", "analysis/incremental.py")
 #: Memoization rules also cover the crypto kernels (PR 4 hot paths).

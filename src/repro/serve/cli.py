@@ -68,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="master seed (default: 0)")
     submit.add_argument("--shard-size", type=int, default=4,
                         help="tasks per shard (default: 4)")
+    submit.add_argument("--cohort-size", type=int, default=1,
+                        help="UEs per simulator instance; >1 packs one "
+                             "multi-UE cohort per shard (matrix sweeps "
+                             "only; default: 1)")
     submit.add_argument("--wait", action="store_true",
                         help="watch the job and exit with its outcome")
 

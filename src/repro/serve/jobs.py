@@ -82,22 +82,59 @@ class Job:
         self._submitted = time.perf_counter()
 
     # -- mutation (executor/daemon side) -------------------------------
+    def _bump_locked(self) -> None:
+        """Version bump + watcher wakeup; caller holds ``self.cond``."""
+        self.version += 1
+        self.cond.notify_all()
+
     def _bump(self) -> None:
         with self.cond:
-            self.version += 1
-            self.cond.notify_all()
+            self._bump_locked()
 
-    def mark(self, state: JobState, error: str | None = None) -> None:
-        self.state = state
-        if error is not None:
-            self.error = error
-        if state is JobState.RUNNING:
+    def mark(self, state: JobState, error: str | None = None) -> bool:
+        """Transition atomically; returns whether it took effect.
+
+        Terminal states are absorbing: once a job is done, failed, or
+        cancelled, no later ``mark`` changes it — in particular, the
+        executor thread racing ``mark(RUNNING)`` against a cancel can
+        never resurrect a cancelled job (use :meth:`try_start` for the
+        queued → running edge, which also refuses when a cancel has
+        been requested but not yet marked).
+        """
+        with self.cond:
+            if self.state.terminal:
+                return False
+            if state is JobState.RUNNING and self.state is not JobState.QUEUED:
+                return False
+            self.state = state
+            if error is not None:
+                self.error = error
+            if state is JobState.RUNNING:
+                self.timings["queue_wait_s"] = round(
+                    time.perf_counter() - self._submitted, 6)
+                self._started = time.perf_counter()
+            elif state.terminal:
+                self.stop_clock()
+            self._bump_locked()
+            return True
+
+    def try_start(self) -> bool:
+        """The queued → running edge, atomic with cancellation.
+
+        Returns False — leaving the job untouched — when the job is no
+        longer queued or a cancel was requested first, so a job
+        cancelled between dequeue and first shard dispatch reports
+        ``cancelled`` immediately and is never started.
+        """
+        with self.cond:
+            if self.state is not JobState.QUEUED or self._cancel.is_set():
+                return False
+            self.state = JobState.RUNNING
             self.timings["queue_wait_s"] = round(
                 time.perf_counter() - self._submitted, 6)
             self._started = time.perf_counter()
-        elif state.terminal:
-            self.stop_clock()
-        self._bump()
+            self._bump_locked()
+            return True
 
     def stop_clock(self) -> None:
         """Fix ``run_wall_s`` now (idempotent) — called before the
@@ -116,10 +153,21 @@ class Job:
         self._bump()
 
     def request_cancel(self) -> None:
-        if self.state is JobState.QUEUED:
-            self.mark(JobState.CANCELLED)
+        """Cancel: immediate for queued jobs, cooperative for running.
+
+        The flag is raised *before* the state check, so a concurrent
+        :meth:`try_start` either observes it and refuses, or wins the
+        lock first — in which case the executor is committed and will
+        observe ``cancel_requested`` at its next stop-check. Either
+        way the job can never report ``running`` after this returns
+        without eventually resolving to a terminal state.
+        """
         self._cancel.set()
-        self._bump()
+        with self.cond:
+            if self.state is JobState.QUEUED:
+                self.state = JobState.CANCELLED
+                self.stop_clock()
+            self._bump_locked()
 
     @property
     def cancel_requested(self) -> bool:
@@ -227,8 +275,8 @@ class JobQueue:
             job = self._pending.get()
             if job is None:
                 return
-            if job.state is not JobState.QUEUED:
-                continue  # cancelled while queued
+            if not job.try_start():
+                continue  # cancelled (or otherwise resolved) while queued
             try:
                 self._run_job(job)
             except Exception as exc:
@@ -239,7 +287,8 @@ class JobQueue:
         return self.runs_root / fingerprint
 
     def _run_job(self, job: Job) -> None:
-        job.mark(JobState.RUNNING)
+        # The queued → running transition already happened atomically in
+        # _drain (try_start); from here every mark() is terminal-only.
         plan = plan_from_spec(job.spec)
         checkpoint = Checkpoint(self.job_dir(job.fingerprint))
         try:

@@ -7,7 +7,16 @@ device+infra simulation under one of three handling schemes — legacy
 disruption is measured from failure onset to verified recovery.
 """
 
-from repro.testbed.harness import HandlingMode, RunResult, Testbed, run_suite
+from repro.testbed.harness import (
+    Cohort,
+    CohortMember,
+    CohortResult,
+    HandlingMode,
+    RunResult,
+    Testbed,
+    run_cohort,
+    run_suite,
+)
 from repro.testbed.measurement import ConnectivityOracle, DisruptionMeter
 from repro.testbed.scenarios import (
     CONTROL_PLANE_MIX,
@@ -44,6 +53,9 @@ def preload() -> None:
 
 __all__ = [
     "CONTROL_PLANE_MIX",
+    "Cohort",
+    "CohortMember",
+    "CohortResult",
     "ConnectivityOracle",
     "DATA_DELIVERY_MIX",
     "DATA_PLANE_MIX",
@@ -54,6 +66,7 @@ __all__ = [
     "ScenarioInstance",
     "Testbed",
     "preload",
+    "run_cohort",
     "run_suite",
     "scenario_by_name",
 ]

@@ -112,11 +112,14 @@ class DisruptionMeter:
         self.oracle = ConnectivityOracle(core, device)
         self.measurement: Measurement | None = None
         self._armed = False
-        # Event wiring (idempotent per meter instance).
+        # Event wiring (idempotent per meter instance). Clears are
+        # filtered to this device's SUPI so cohort members don't wake
+        # each other's meters (single-UE runs see no difference: every
+        # failure there is unscoped or aimed at this device).
         device.modem.on_registered.append(self._on_event)
         device.modem.on_session_up.append(lambda psi, s: self._on_event())
         device.modem.on_session_modified.append(lambda psi, s: self._on_event())
-        core.engine.on_clear.append(lambda failure: self._on_event())
+        core.engine.on_clear_for(device.supi, lambda failure: self._on_event())
 
     def start(self) -> Measurement:
         """Declare failure onset now."""
@@ -148,6 +151,11 @@ class DisruptionMeter:
         if self.oracle.ok(self.target):
             self.measurement.recovered_at = self.sim.now
             self._armed = False
+
+    def disarm(self) -> None:
+        """Stop measuring (cohort freeze at this UE's horizon): pending
+        heartbeats and checks become no-ops."""
+        self._armed = False
 
     # ------------------------------------------------------------------
     # Quiescence predicate
@@ -193,6 +201,6 @@ class DisruptionMeter:
             carrier_app = deployment.carrier_apps.get(device.supi)
             if carrier_app is not None and not carrier_app.idle:
                 return False
-            if not deployment.plugin.downlinks_idle():
+            if not deployment.plugin.downlinks_idle(device.supi):
                 return False
         return True

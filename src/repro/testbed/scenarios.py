@@ -62,7 +62,10 @@ class Scenario:
 
 def _lognormal(testbed: "Testbed", stream: str, median: float, sigma: float,
                lo: float, hi: float) -> float:
-    value = testbed.sim.rng.lognormal(stream, math.log(median), sigma)
+    # Drawn from the run's own stream set (``testbed.rng``): a cohort
+    # member's private streams, or the simulator's for single-UE runs —
+    # same draw sequence either way for the same seed.
+    value = testbed.rng.lognormal(stream, math.log(median), sigma)
     return min(hi, max(lo, value))
 
 

@@ -17,7 +17,7 @@ from repro.fleet.planner import plan_from_spec
 from repro.fleet.worker import run_shard
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import ServeDaemon
-from repro.serve.jobs import JobQueue, JobState
+from repro.serve.jobs import Job, JobQueue, JobState
 from repro.serve.store import RunRegistry, diff_runs, render_diff
 
 #: Small real sweep: 2 scenarios × 2 modes × 2 replicas = 8 tasks.
@@ -175,6 +175,108 @@ class TestCancelResume:
         queue.start()
         queue.stop()
         assert job.shards_done == 0
+
+
+class TestCancelRace:
+    """The dequeue/cancel race: state transitions are CAS-style, so a
+    cancel that lands between dequeue and first shard dispatch reports
+    ``cancelled`` immediately and can never be overwritten."""
+
+    def _job(self):
+        return Job("job-test", SPEC, plan_from_spec(SPEC))
+
+    def test_cancel_beats_start(self):
+        # request_cancel lands first: the executor's try_start must
+        # refuse and the job must already read as cancelled.
+        job = self._job()
+        job.request_cancel()
+        assert job.state is JobState.CANCELLED
+        assert job.snapshot(aggregate=False)["state"] == "cancelled"
+        assert not job.try_start()
+        assert job.state is JobState.CANCELLED
+
+    def test_terminal_states_are_absorbing(self):
+        job = self._job()
+        job.request_cancel()
+        for state in (JobState.RUNNING, JobState.DONE, JobState.FAILED):
+            assert not job.mark(state)
+            assert job.state is JobState.CANCELLED
+        assert job.error is None
+
+    def test_start_is_exactly_once(self):
+        job = self._job()
+        assert job.try_start()
+        assert job.state is JobState.RUNNING
+        assert not job.try_start()
+        # a late cancel of a running job is cooperative, not immediate
+        job.request_cancel()
+        assert job.state is JobState.RUNNING
+        assert job.cancel_requested
+        assert job.mark(JobState.CANCELLED)
+        assert job.state is JobState.CANCELLED
+
+    def test_running_only_reachable_from_queued(self):
+        job = self._job()
+        assert job.try_start()
+        assert not job.mark(JobState.RUNNING)
+        assert job.mark(JobState.DONE)
+        assert job.state is JobState.DONE
+
+
+class TestFoldIdentity:
+    """fold(empty) == no-op: degenerate shard results are absorbed as
+    the identity element instead of crashing the streaming fold."""
+
+    def test_empty_shard_is_identity(self):
+        state = AggregateState()
+        baseline = state.result()
+        for empty in ({}, {"tasks": None}, {"tasks": []},
+                      {"tasks": [], "learning": None},
+                      {"shard_id": 7, "tasks": (), "learning": {}}):
+            state.fold_shard(empty)
+        assert state.tasks == 0
+        assert state.result() == baseline
+
+    def test_empty_folds_do_not_perturb_real_ones(self):
+        plan = plan_from_spec(SPEC)
+        results = [run_shard(s.to_json()) for s in plan.shards[:2]]
+        clean, dirty = AggregateState(), AggregateState()
+        for result in results:
+            clean.fold_shard(result)
+        dirty.fold_shard({})
+        dirty.fold_shard(results[0])
+        dirty.fold_shard({"tasks": None, "learning": None})
+        dirty.fold_shard(results[1])
+        assert canonical_json(dirty.result()) == canonical_json(clean.result())
+
+
+class TestPoolDiscard:
+    """Broken-executor path: discard() must shut the old executor down
+    (no orphaned worker bookkeeping) before the next round rebuilds."""
+
+    def test_discard_shuts_down_and_rebuilds(self):
+        pool = WorkerPool(workers=1, initializer=None)
+        first = pool.executor()
+        assert pool.executors_spawned == 1
+        pool.discard()
+        assert pool._executor is None
+        # The discarded executor is really shut down: new work refused.
+        try:
+            first.submit(int)
+            raise AssertionError("discarded executor accepted work")
+        except RuntimeError:
+            pass
+        second = pool.executor()
+        assert second is not first
+        assert pool.executors_spawned == 2
+        pool.shutdown()
+
+    def test_discard_without_executor_is_harmless(self):
+        pool = WorkerPool(workers=1, initializer=None)
+        pool.discard()
+        assert pool._executor is None
+        assert pool.executors_spawned == 0
+        pool.shutdown()
 
 
 class TestRegistryDiff:
