@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import threading
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -76,6 +77,12 @@ class WorkerPool:
     per-round retry semantics of the throwaway executor it replaces.
     Results are unaffected by warmth: shard outputs are pure functions
     of their specs.
+
+    The pool is shared across threads in the serve daemon (the queue's
+    executor thread runs sweeps while a handler/main thread may call
+    :meth:`shutdown` on close), so the executor slot is guarded by a
+    lock: build/discard/shutdown are atomic and a racing close can
+    never resurrect or double-build an executor (CONC001 discipline).
     """
 
     def __init__(
@@ -87,6 +94,7 @@ class WorkerPool:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.initializer = initializer
+        self._lock = threading.Lock()
         self._executor: ProcessPoolExecutor | None = None
         #: Executors built over this pool's lifetime (spin-up telemetry:
         #: a warm run of N sweeps should show 1, not N).
@@ -94,24 +102,31 @@ class WorkerPool:
 
     def executor(self) -> ProcessPoolExecutor:
         """The live executor, building one on first use / after discard."""
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("spawn"),
-                initializer=self.initializer,
-            )
-            self.executors_spawned += 1
-        return self._executor
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=self.initializer,
+                )
+                self.executors_spawned += 1
+            return self._executor
+
+    def _take_executor(self) -> ProcessPoolExecutor | None:
+        """Atomically detach the current executor (if any)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            return executor
 
     def discard(self) -> None:
         """Drop a broken executor; the next round rebuilds lazily."""
-        executor, self._executor = self._executor, None
+        executor = self._take_executor()
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self) -> None:
         """Terminate the workers (the pool can be reused afterwards)."""
-        executor, self._executor = self._executor, None
+        executor = self._take_executor()
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
 

@@ -1,43 +1,66 @@
-"""seedlint — AST static analysis for the SEED reproduction tree.
+"""seedlint — two-pass static analysis for the SEED reproduction tree.
 
 The repo's two hardest guarantees are byte-identical fleet aggregates
 at any worker count and faithful coverage of the paper's 80+
 standardized cause codes (§4.3.1). Both are easy to break with one
 stray wall-clock read, global-``random`` draw, or unregistered cause —
 and runtime tests only sample a few seeds. seedlint enforces the
-invariants statically, over the whole tree, on every run:
+invariants statically, over the whole tree, on every run.
+
+The engine runs **two passes**: pass 1 applies per-file rules (path
+scoped) and project rules (cross-file table completeness); pass 2
+builds an import graph and a best-effort call graph
+(:mod:`repro.lint.graph`) and hands them to whole-program rules, so a
+helper in an *unscoped* module that reads the wall clock and is called
+from the deterministic surface is caught regardless of which file it
+lives in. Rule families:
 
 * **DET** — determinism: no wall-clock/entropy reads or global
   ``random`` use in the simulation paths (randomness flows through
   :class:`repro.simkernel.rng.RngStreams` / ``derive_seed``), no
-  hash-order-dependent set iteration or unsorted JSON serialization
-  feeding the deterministic aggregate surface;
+  hash-order set iteration or unsorted JSON on the aggregate surface;
+  DET007 propagates these sources interprocedurally along call edges
+  and reports the full chain (``fleet.worker → analysis.foo →
+  time.time``);
+* **CONC** — lock discipline on the threaded serve/fleet surface:
+  guarded-attribute discipline, ``Condition.wait`` predicate loops,
+  lock-held state transitions (the serve.jobs cancel-race shape);
 * **PROTO** — protocol completeness, checked cross-table: every cause
   registered in ``nas/causes.py`` reachable from the on-card applet
   registry, every NAS message class round-trip-registered in the
   codec, every Table 3 reset primitive handled by the decision logic;
 * **SAFE** — fleet/crypto safety: no bare or swallowed exception
-  handlers, no variable-time MAC/digest comparison, no unpicklable
-  lambdas handed to the process pool.
+  handlers, no variable-time MAC comparison, no unpicklable lambdas
+  handed to the process pool;
+* **META** — the lint inventory itself: a ``disable`` comment that
+  suppresses nothing is reported stale.
 
 Run ``python -m repro.lint src/`` (or the ``seedlint`` entry point).
 Suppress a finding with ``# seedlint: disable=RULE`` on the flagged
-line. See :mod:`repro.lint.registry` for the rule catalogue.
+line. ``--changed <ref>`` reports only files changed vs a git ref,
+``--cache-dir`` enables the content-hash parse/finding cache, and
+``--format sarif`` emits the code-scanning report CI uploads. See
+:mod:`repro.lint.registry` for the rule catalogue.
 """
 
 from __future__ import annotations
 
-from repro.lint.engine import Project, lint_paths, scan_paths
+from repro.lint.cache import LintCache
+from repro.lint.engine import Project, lint_paths, run_rules, scan_paths
 from repro.lint.finding import Finding
+from repro.lint.graph import Program
 from repro.lint.registry import RULES, Rule, all_rules, rule
 
 __all__ = [
     "Finding",
+    "LintCache",
+    "Program",
     "Project",
     "RULES",
     "Rule",
     "all_rules",
     "lint_paths",
     "rule",
+    "run_rules",
     "scan_paths",
 ]

@@ -1,0 +1,404 @@
+"""Whole-program analysis core: import graph + best-effort call graph.
+
+Pass 2 of the engine hands every whole-program rule a
+:class:`Program`: all parsed modules, an **import graph** over the
+scanned tree, and an intra-package **call graph** resolved from AST
+alone — no code is imported or executed. Resolution is deliberately
+best-effort and sound-for-what-it-resolves: an edge is only recorded
+when the target is unambiguous, and anything dynamic (getattr,
+reassigned names, duck-typed parameters) simply yields no edge. That
+is the right polarity for the DET taint walker: a missing edge can
+cost a finding, never invent one.
+
+Function nodes are keyed ``"<scope_key>::<qualname>"`` — e.g.
+``fleet/pool.py::WorkerPool.executor`` or
+``serve/jobs.py::<module>`` for module-level statements. Resolved
+call forms:
+
+* local calls — ``helper()`` naming a module-level function or class
+  of the same module (class calls edge to ``Cls.__init__``);
+* imported symbols — ``from repro.x.y import f`` (with aliasing),
+  including relative imports resolved against the importing module's
+  package;
+* module-attribute calls — ``pool.execute_plan()`` after
+  ``from repro.fleet import pool`` / ``import repro.fleet.pool as
+  pool``, and fully dotted ``repro.fleet.pool.execute_plan()``;
+* ``self.method()`` within a class, and ``self.attr.method()`` when
+  ``__init__`` assigns ``self.attr = KnownClass(...)``.
+
+Module names are normalized without the leading ``repro.`` so the
+installed tree and fixture corpora that mirror the package layout
+(``fleet/worker.py`` importing ``repro.analysis.helpers``) resolve
+identically.
+
+``Program.consume_suppression`` lets whole-program rules record that
+a ``# seedlint: disable=...`` comment did real work even though it
+absorbed no finding in its own file (a sanctioned taint source keeps
+its callers clean) — the engine folds these into the stale-suppression
+accounting (META001).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import Module
+
+
+def module_dotted(scope_key: str) -> str:
+    """Dotted module name (sans ``repro.``) for a package subpath."""
+    dotted = scope_key[:-3] if scope_key.endswith(".py") else scope_key
+    dotted = dotted.replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    elif dotted == "__init__":
+        dotted = ""
+    return dotted
+
+
+def _strip_repro(dotted: str) -> str:
+    if dotted == "repro":
+        return ""
+    if dotted.startswith("repro."):
+        return dotted[len("repro.") :]
+    return dotted
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, anchored at the caller's call expression."""
+
+    caller: str     # function key of the enclosing function
+    callee: str     # function key of the resolved target
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionNode:
+    """One function/method (or the module-level pseudo-function)."""
+
+    key: str                        # "<scope_key>::<qualname>"
+    module: Module
+    qualname: str                   # "fn", "Cls.method", or "<module>"
+    node: ast.AST                   # FunctionDef / AsyncFunctionDef / Module
+    line: int
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Every AST node of this function's body.
+
+        For the ``<module>`` pseudo-function, only module-level
+        statements are walked (defs and classes own their bodies); for
+        real functions the walk includes nested defs/lambdas — their
+        effects are conservatively attributed to the enclosing
+        function.
+        """
+        if isinstance(self.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from ast.walk(self.node)
+            return
+        for statement in self.node.body:  # type: ignore[attr-defined]
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            yield from ast.walk(statement)
+
+
+@dataclass
+class _ModuleIndex:
+    """Per-module symbol and import-binding environment."""
+
+    module: Module
+    dotted: str
+    functions: dict[str, str] = field(default_factory=dict)   # name -> fn key
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+    # import bindings, all by local alias:
+    module_aliases: dict[str, str] = field(default_factory=dict)   # alias -> dotted module
+    symbol_aliases: dict[str, tuple[str, str]] = field(default_factory=dict)
+    # alias -> (dotted module, symbol name)
+    imported_modules: set[str] = field(default_factory=set)
+
+
+class Program:
+    """All parsed modules plus import and call graphs (pass-2 input)."""
+
+    def __init__(self, modules: list[Module], enforce_scope: bool = True) -> None:
+        self.modules = [m for m in modules if m.tree is not None]
+        self.enforce_scope = enforce_scope
+        self.by_dotted: dict[str, Module] = {}
+        for module in self.modules:
+            self.by_dotted.setdefault(module_dotted(module.scope_key), module)
+        self.functions: dict[str, FunctionNode] = {}
+        self.edges: dict[str, list[CallSite]] = {}
+        self.redges: dict[str, list[CallSite]] = {}
+        #: module dotted name -> dotted names of scanned modules it imports
+        self.imports: dict[str, set[str]] = {}
+        #: (path, line, rule-token) suppressions consumed by pass-2 rules
+        self.consumed_suppressions: set[tuple[str, int, str]] = set()
+        self._indexes: dict[str, _ModuleIndex] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------
+    def _build(self) -> None:
+        for module in self.modules:
+            index = self._index_module(module)
+            self._indexes[module.scope_key] = index
+        for index in self._indexes.values():
+            self._resolve_imports(index)
+        for index in self._indexes.values():
+            self._resolve_calls(index)
+        for sites in self.edges.values():
+            for site in sites:
+                self.redges.setdefault(site.callee, []).append(site)
+
+    def _index_module(self, module: Module) -> _ModuleIndex:
+        index = _ModuleIndex(module=module, dotted=module_dotted(module.scope_key))
+        key = module.scope_key
+        self.functions[f"{key}::<module>"] = FunctionNode(
+            key=f"{key}::<module>", module=module,
+            qualname="<module>", node=module.tree, line=1,
+        )
+        for statement in module.tree.body:  # type: ignore[union-attr]
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_key = f"{key}::{statement.name}"
+                index.functions[statement.name] = fn_key
+                self.functions[fn_key] = FunctionNode(
+                    key=fn_key, module=module, qualname=statement.name,
+                    node=statement, line=statement.lineno,
+                )
+            elif isinstance(statement, ast.ClassDef):
+                methods: dict[str, str] = {}
+                for item in statement.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn_key = f"{key}::{statement.name}.{item.name}"
+                        methods[item.name] = fn_key
+                        self.functions[fn_key] = FunctionNode(
+                            key=fn_key, module=module,
+                            qualname=f"{statement.name}.{item.name}",
+                            node=item, line=item.lineno,
+                        )
+                index.classes[statement.name] = methods
+        return index
+
+    def _resolve_imports(self, index: _ModuleIndex) -> None:
+        package = index.dotted.rpartition(".")[0]
+        if index.module.scope_key.endswith("__init__.py"):
+            package = index.dotted
+        for node in ast.walk(index.module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = _strip_repro(alias.name)
+                    if alias.asname is not None:
+                        index.module_aliases[alias.asname] = target
+                    else:
+                        # `import repro.fleet.pool` binds `repro`; fully
+                        # dotted call paths resolve through by_dotted.
+                        index.imported_modules.add(target)
+                    if target in self.by_dotted:
+                        self.imports.setdefault(index.dotted, set()).add(target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    submodule = f"{base}.{alias.name}" if base else alias.name
+                    if submodule in self.by_dotted:
+                        index.module_aliases[bound] = submodule
+                        self.imports.setdefault(index.dotted, set()).add(submodule)
+                    else:
+                        index.symbol_aliases[bound] = (base, alias.name)
+                        if base in self.by_dotted:
+                            self.imports.setdefault(index.dotted, set()).add(base)
+
+    def _import_base(self, node: ast.ImportFrom, package: str) -> str | None:
+        """The dotted module a ``from X import ...`` pulls from."""
+        if node.level == 0:
+            return _strip_repro(node.module or "")
+        parts = package.split(".") if package else []
+        ascend = node.level - 1
+        if ascend > len(parts):
+            return None
+        base_parts = parts[: len(parts) - ascend]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    # -- call resolution -----------------------------------------------
+    def _class_of(self, dotted_module: str, name: str) -> dict[str, str] | None:
+        module = self.by_dotted.get(dotted_module)
+        if module is None:
+            return None
+        index = self._indexes.get(module.scope_key)
+        return index.classes.get(name) if index is not None else None
+
+    def _function_of(self, dotted_module: str, name: str) -> str | None:
+        module = self.by_dotted.get(dotted_module)
+        if module is None:
+            return None
+        index = self._indexes.get(module.scope_key)
+        if index is None:
+            return None
+        if name in index.functions:
+            return index.functions[name]
+        methods = index.classes.get(name)
+        if methods is not None:
+            return methods.get("__init__")
+        # Re-exported symbol (`from repro.fleet import run_shard` where
+        # fleet/__init__.py itself imported it): follow one hop.
+        alias = index.symbol_aliases.get(name)
+        if alias is not None:
+            return self._function_of(alias[0], alias[1])
+        return None
+
+    def _self_attr_types(
+        self, index: _ModuleIndex, class_name: str
+    ) -> dict[str, tuple[str, str]]:
+        """``self.attr`` -> (module dotted, class name) inferred from
+        ``self.attr = KnownClass(...)`` assignments in ``__init__``."""
+        methods = index.classes.get(class_name, {})
+        init_key = methods.get("__init__")
+        types: dict[str, tuple[str, str]] = {}
+        if init_key is None:
+            return types
+        init = self.functions[init_key].node
+        for node in ast.walk(init):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            ctor = dotted_name(node.value.func)
+            if ctor is None:
+                continue
+            resolved = self._resolve_class_ref(index, ctor)
+            if resolved is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    types[target.attr] = resolved
+        return types
+
+    def _resolve_class_ref(
+        self, index: _ModuleIndex, dotted: str
+    ) -> tuple[str, str] | None:
+        """Resolve a dotted expression naming a class to (module, class)."""
+        head, _, tail = dotted.rpartition(".")
+        if not head:
+            if dotted in index.classes:
+                return (index.dotted, dotted)
+            alias = index.symbol_aliases.get(dotted)
+            if alias is not None and self._class_of(alias[0], alias[1]) is not None:
+                return alias
+            return None
+        target_module = self._target_module(index, head)
+        if target_module is not None and self._class_of(target_module, tail) is not None:
+            return (target_module, tail)
+        return None
+
+    def _target_module(self, index: _ModuleIndex, head: str) -> str | None:
+        """The dotted module a call head like ``pool`` / ``repro.fleet.pool``
+        refers to, via the module's import bindings."""
+        if head in index.module_aliases:
+            return index.module_aliases[head]
+        stripped = _strip_repro(head)
+        if stripped in self.by_dotted and (
+            head.startswith("repro.") or head == "repro"
+            or stripped in index.imported_modules
+        ):
+            return stripped
+        return None
+
+    def _resolve_call(
+        self,
+        index: _ModuleIndex,
+        call: ast.Call,
+        class_name: str | None,
+        attr_types: dict[str, tuple[str, str]],
+    ) -> str | None:
+        """Function key of a call target, or None when unresolvable."""
+        func = call.func
+        # self.method() / self.attr.method()
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "self" and class_name:
+                methods = index.classes.get(class_name, {})
+                return methods.get(func.attr)
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                typed = attr_types.get(value.attr)
+                if typed is not None:
+                    methods = self._class_of(*typed)
+                    if methods is not None:
+                        return methods.get(func.attr)
+                return None
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, tail = dotted.rpartition(".")
+        if not head:
+            if dotted in index.functions:
+                return index.functions[dotted]
+            if dotted in index.classes:
+                return index.classes[dotted].get("__init__")
+            alias = index.symbol_aliases.get(dotted)
+            if alias is not None:
+                return self._function_of(alias[0], alias[1])
+            return None
+        target_module = self._target_module(index, head)
+        if target_module is not None:
+            return self._function_of(target_module, tail)
+        return None
+
+    def _resolve_calls(self, index: _ModuleIndex) -> None:
+        key = index.module.scope_key
+        for fn in list(self.functions.values()):
+            if fn.module.scope_key != key:
+                continue
+            class_name = (
+                fn.qualname.partition(".")[0] if "." in fn.qualname else None
+            )
+            attr_types = (
+                self._self_attr_types(index, class_name) if class_name else {}
+            )
+            sites: list[CallSite] = []
+            for node in fn.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self._resolve_call(index, node, class_name, attr_types)
+                if callee is not None and callee != fn.key:
+                    sites.append(CallSite(
+                        caller=fn.key, callee=callee,
+                        line=node.lineno, col=node.col_offset,
+                    ))
+            if sites:
+                self.edges[fn.key] = sites
+
+    # -- queries -------------------------------------------------------
+    def callers_of(self, key: str) -> list[CallSite]:
+        """Call sites whose resolved target is ``key``."""
+        return self.redges.get(key, [])
+
+    def callees_of(self, key: str) -> list[CallSite]:
+        """Call sites inside function ``key``, resolution order."""
+        return self.edges.get(key, [])
+
+    def imported_by(self, dotted: str) -> set[str]:
+        """Dotted names of scanned modules importing ``dotted``."""
+        return {
+            importer for importer, targets in self.imports.items()
+            if dotted in targets
+        }
+
+    def consume_suppression(self, path: str, line: int, rule_token: str) -> None:
+        """Mark a disable comment as load-bearing for a pass-2 rule,
+        keeping it out of the META001 stale-suppression report."""
+        self.consumed_suppressions.add((path, line, rule_token))

@@ -10,7 +10,14 @@ A rule is a checker function plus metadata:
   ``fleet``/``nas`` without flagging experiment scripts;
 * ``project`` — per-file rules receive one :class:`Module` at a time;
   project rules receive the whole :class:`Project` and perform
-  cross-file checks (the PROTO completeness family).
+  cross-file checks (the PROTO completeness family);
+* ``whole_program`` — pass-2 rules receive a
+  :class:`repro.lint.graph.Program` (all parsed modules plus the
+  import and call graphs) and reason across call edges — the
+  interprocedural DET taint walker lives here;
+* ``meta`` — rules computed by the engine itself from the run's own
+  bookkeeping (stale-suppression detection); their ``check`` is never
+  called, registration only makes them selectable and listable.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ class Rule:
     check: RuleCheck
     scope: tuple[str, ...] = ()     # () = every scanned file
     project: bool = False           # True = cross-file rule
+    whole_program: bool = False     # True = pass-2 rule over the Program
+    meta: bool = False              # True = engine-computed rule
 
     def applies_to(self, scope_key: str) -> bool:
         """Whether a file with package subpath ``scope_key`` is in scope."""
@@ -49,6 +58,8 @@ def rule(
     summary: str,
     scope: tuple[str, ...] = (),
     project: bool = False,
+    whole_program: bool = False,
+    meta: bool = False,
 ) -> Callable[[RuleCheck], RuleCheck]:
     """Register ``check`` under ``rule_id``; returns it unchanged."""
 
@@ -58,6 +69,7 @@ def rule(
         RULES[rule_id] = Rule(
             rule_id=rule_id, summary=summary, check=check,
             scope=tuple(scope), project=project,
+            whole_program=whole_program, meta=meta,
         )
         return check
 

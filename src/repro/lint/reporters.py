@@ -1,10 +1,18 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF form is what CI uploads to GitHub code scanning, so lint
+findings annotate pull requests inline. Rendering is deterministic
+(key-sorted, findings already arrive in stable order) — the same tree
+produces byte-identical reports in every format.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import Iterable
 
 from repro.lint.finding import Finding
+from repro.lint.registry import Rule
 
 
 def render_text(findings: list[Finding], files_checked: int) -> str:
@@ -25,5 +33,83 @@ def render_json(findings: list[Finding], files_checked: int) -> str:
         "findings": [finding.to_dict() for finding in findings],
         "count": len(findings),
         "by_rule": by_rule,
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+#: SARIF spec version pinned in the report envelope.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def render_sarif(
+    findings: list[Finding],
+    files_checked: int,
+    rules: Iterable[Rule] = (),
+) -> str:
+    """SARIF 2.1.0 run for GitHub code scanning upload.
+
+    Every registered rule appears in the driver's rule table (so code
+    scanning shows the catalogue even on clean runs); results carry
+    file/line/column anchors. ``PARSE`` pseudo-findings get an
+    ad-hoc rule entry.
+    """
+    rule_table = [
+        {
+            "id": lint_rule.rule_id,
+            "shortDescription": {"text": lint_rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for lint_rule in sorted(rules, key=lambda r: r.rule_id)
+    ]
+    known = {entry["id"] for entry in rule_table}
+    extra = sorted({f.rule for f in findings} - known)
+    rule_table.extend(
+        {
+            "id": rule_id,
+            "shortDescription": {"text": f"seedlint {rule_id}"},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in extra
+    )
+    index = {entry["id"]: i for i, entry in enumerate(rule_table)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _sarif_uri(finding.path)},
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "seedlint",
+                    "rules": rule_table,
+                },
+            },
+            "results": results,
+            "properties": {"filesChecked": files_checked},
+        }],
     }
     return json.dumps(payload, sort_keys=True, indent=2)

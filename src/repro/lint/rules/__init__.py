@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import det, proto, safe  # noqa: F401
+from repro.lint.rules import conc, det, meta, proto, safe, taint  # noqa: F401
 
-__all__ = ["det", "proto", "safe"]
+__all__ = ["conc", "det", "meta", "proto", "safe", "taint"]

@@ -1,0 +1,322 @@
+"""CONC — lock discipline on the threaded serve/fleet surface.
+
+The resident daemon (PR 6) put real threads in the tree: HTTP handler
+threads observing jobs that a single executor thread mutates, a warm
+process-pool wrapper shared between them, long-poll waiters on a
+``Condition``. The PR 7 bugfix sweep showed what that costs — the
+``serve.jobs`` cancel race was exactly an unguarded check-then-act on
+shared state. The CONC family makes the discipline that fixed it
+statically checkable, class-locally from the AST:
+
+* **CONC001** — guarded-attribute discipline: an attribute ever
+  *written* inside ``with self.<lock>:`` must never be read or written
+  bare elsewhere in the class. ``__init__`` is exempt (construction
+  happens-before publication).
+* **CONC002** — ``Condition.wait()`` must sit inside a predicate
+  re-check loop (``while not pred: cond.wait()``); a bare or
+  ``if``-guarded wait misses spurious wakeups and stolen predicates.
+  ``wait_for`` embeds the loop and is always legal.
+* **CONC003** — state-machine transitions (stores to ``self.state`` /
+  ``self._state``) in a lock-owning class must hold the owning lock:
+  check and transition must be one atomic section (the CAS-style
+  ``mark``/``try_start`` shape that fixed the cancel race).
+
+Lock-held context is recognised three ways: lexically (``with
+self.<guard>:``), by the ``*_locked`` method-name convention (the
+caller holds the lock — ``_bump_locked`` in ``serve.jobs``), and by an
+explicit ``# seedlint: holds=<attr>`` annotation on the ``def`` line
+for methods whose contract is lock-held but whose name cannot say so.
+
+Guards are attributes assigned ``threading.Lock()`` / ``RLock()`` /
+``Condition()`` anywhere in the class, plus anything used as ``with
+self.<name>:`` whose name mentions ``lock``/``cond``/``mutex``. A
+class with no guard is skipped — these rules check discipline around a
+lock that exists; they cannot prove one is missing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import Module
+from repro.lint.finding import Finding
+from repro.lint.registry import rule
+
+CONC_SCOPE = ("serve", "fleet/pool.py")
+
+_GUARD_CTORS = {"Lock", "RLock", "Condition"}
+_GUARDISH_TOKENS = ("lock", "cond", "mutex")
+_HOLDS_RE = re.compile(r"#\s*seedlint:\s*holds=([A-Za-z0-9_,\s]+)")
+
+
+def _guard_ctor(value: ast.expr) -> str | None:
+    """'Lock'/'RLock'/'Condition' when ``value`` calls one, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = dotted_name(value.func)
+    if dotted is None:
+        return None
+    tail = dotted.rpartition(".")[2]
+    return tail if tail in _GUARD_CTORS else None
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _guardish_name(name: str) -> bool:
+    return any(token in name.lower() for token in _GUARDISH_TOKENS)
+
+
+@dataclass
+class _Access:
+    """One ``self.<attr>`` touch inside a method body."""
+
+    node: ast.Attribute
+    attr: str
+    write: bool                 # direct store / aug-assign / subscript store
+    held: frozenset[str]        # guards held at this point
+    method: str
+
+
+@dataclass
+class _ClassModel:
+    node: ast.ClassDef
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef]
+    guards: set[str]            # all lock-like attrs
+    conditions: set[str]        # the Condition-typed subset
+    accesses: list[_Access]
+
+
+def _held_at_entry(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    guards: set[str],
+    source_lines: list[str],
+) -> frozenset[str]:
+    """Guards assumed held on entry: ``*_locked`` naming convention
+    (all guards) or an explicit ``# seedlint: holds=`` annotation."""
+    if fn.name.endswith("_locked"):
+        return frozenset(guards)
+    if 0 < fn.lineno <= len(source_lines):
+        match = _HOLDS_RE.search(source_lines[fn.lineno - 1])
+        if match is not None:
+            named = {
+                token.strip() for token in match.group(1).split(",")
+                if token.strip()
+            }
+            return frozenset(named & guards) or frozenset(named)
+    return frozenset()
+
+
+def _collect_accesses(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    guards: set[str],
+    base_held: frozenset[str],
+) -> Iterator[_Access]:
+    """Walk ``fn`` tracking which guards are lexically held."""
+
+    def visit(node: ast.AST, held: frozenset[str]) -> Iterator[_Access]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr in guards:
+                    acquired.add(attr)
+                yield from visit(item.context_expr, held)
+            inner = held | frozenset(acquired)
+            for child in node.body:
+                yield from visit(child, inner)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                yield _Access(
+                    node=node, attr=attr,
+                    write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    held=held, method=fn.name,
+                )
+                return  # self.<attr> is a leaf; nothing below it
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            attr = _self_attr(node.value)
+            if attr is not None:
+                # self.d[k] = v mutates the container through a Load
+                # context; for lock discipline it is a write.
+                yield _Access(
+                    node=node.value, attr=attr, write=True,
+                    held=held, method=fn.name,
+                )
+                for child in (node.slice,):
+                    yield from visit(child, held)
+                return
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, held)
+
+    for statement in fn.body:
+        yield from visit(statement, base_held)
+
+
+def _model_class(class_node: ast.ClassDef, module: Module) -> _ClassModel | None:
+    methods = {
+        item.name: item
+        for item in class_node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    guards: set[str] = set()
+    conditions: set[str] = set()
+    for fn in methods.values():
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                ctor = _guard_ctor(node.value)
+                if ctor is None:
+                    continue
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        guards.add(attr)
+                        if ctor == "Condition":
+                            conditions.add(attr)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and _guardish_name(attr):
+                        guards.add(attr)
+                        if "cond" in attr.lower():
+                            conditions.add(attr)
+    if not guards:
+        return None
+    source_lines = module.source.splitlines()
+    accesses: list[_Access] = []
+    for fn in methods.values():
+        base_held = _held_at_entry(fn, guards, source_lines)
+        accesses.extend(_collect_accesses(fn, guards, base_held))
+    return _ClassModel(
+        node=class_node, methods=methods,
+        guards=guards, conditions=conditions, accesses=accesses,
+    )
+
+
+def _class_models(module: Module) -> Iterator[_ClassModel]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            model = _model_class(node, module)
+            if model is not None:
+                yield model
+
+
+@rule(
+    "CONC001",
+    "an attribute written under a class's lock must never be read or "
+    "written bare elsewhere in the class (guarded-attribute "
+    "discipline; __init__ and *_locked/# seedlint: holds= contexts "
+    "are lock-held)",
+    scope=CONC_SCOPE,
+)
+def conc001_guarded_attributes(module: Module) -> Iterator[Finding]:
+    for model in _class_models(module):
+        attr_guards: dict[str, set[str]] = {}
+        for access in model.accesses:
+            if access.write and access.held and access.attr not in model.guards:
+                attr_guards.setdefault(access.attr, set()).update(access.held)
+        for access in model.accesses:
+            if access.method == "__init__" or access.attr in model.guards:
+                continue
+            owning = attr_guards.get(access.attr)
+            if not owning or access.held & owning:
+                continue
+            action = "written" if access.write else "read"
+            lock_list = "/".join(f"self.{g}" for g in sorted(owning))
+            yield Finding(
+                module.path, access.node.lineno, access.node.col_offset,
+                "CONC001",
+                f"{model.node.name}.{access.method} {action} "
+                f"self.{access.attr} without holding {lock_list}, but the "
+                f"attribute is written under that lock elsewhere in the "
+                f"class; take the lock (or mark the method *_locked / "
+                f"'# seedlint: holds={sorted(owning)[0]}' if the caller "
+                f"holds it)",
+            )
+
+
+@rule(
+    "CONC002",
+    "Condition.wait() must sit inside a predicate re-check loop "
+    "(while not pred: cond.wait()); use wait_for for the one-liner",
+    scope=CONC_SCOPE,
+)
+def conc002_wait_needs_loop(module: Module) -> Iterator[Finding]:
+    for model in _class_models(module):
+        if not model.conditions:
+            continue
+        for fn in model.methods.values():
+            parents: dict[int, ast.AST] = {}
+            for parent in ast.walk(fn):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "wait"
+                ):
+                    continue
+                waited = _self_attr(node.func.value)
+                if waited is None or waited not in model.conditions:
+                    continue
+                cursor: ast.AST | None = node
+                in_loop = False
+                while cursor is not None and cursor is not fn:
+                    if isinstance(cursor, (ast.While, ast.For, ast.AsyncFor)):
+                        in_loop = True
+                        break
+                    cursor = parents.get(id(cursor))
+                if not in_loop:
+                    yield Finding(
+                        module.path, node.lineno, node.col_offset, "CONC002",
+                        f"self.{waited}.wait() outside a predicate re-check "
+                        f"loop: spurious wakeups and stolen predicates make "
+                        f"a single wait unsound; wrap it in 'while not "
+                        f"<pred>:' or use wait_for(<pred>)",
+                    )
+
+
+#: Attribute names that carry a state machine.
+_STATE_ATTRS = {"state", "_state"}
+
+
+@rule(
+    "CONC003",
+    "state-machine transitions in a lock-owning class must hold the "
+    "owning lock (atomic check-and-transition, the serve.jobs cancel-"
+    "race shape)",
+    scope=CONC_SCOPE,
+)
+def conc003_unlocked_transition(module: Module) -> Iterator[Finding]:
+    for model in _class_models(module):
+        for access in model.accesses:
+            if (
+                access.write
+                and access.attr in _STATE_ATTRS
+                and access.method != "__init__"
+                and not access.held
+            ):
+                yield Finding(
+                    module.path, access.node.lineno, access.node.col_offset,
+                    "CONC003",
+                    f"{model.node.name}.{access.method} transitions "
+                    f"self.{access.attr} without the owning lock; a racing "
+                    f"cancel/start can interleave between the state check "
+                    f"and this write (the pre-PR-7 serve.jobs cancel race) "
+                    f"— make check+transition one locked section",
+                )

@@ -1,0 +1,26 @@
+"""META — rules about the lint inventory itself.
+
+META001 (stale suppressions) is *computed by the engine*: staleness is
+a property of a whole run — which findings existed pre-suppression,
+which disable comment absorbed each one, and which suppressions a
+pass-2 rule consumed as sanctioned sources. The registration below
+only makes the rule selectable (``--select META``), ignorable, and
+listable; its ``check`` is never invoked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.registry import rule
+
+
+@rule(
+    "META001",
+    "a '# seedlint: disable=RULE' comment that suppresses no finding "
+    "(and sanctions no taint source) is stale and must be removed — "
+    "the disable inventory cannot rot",
+    meta=True,
+)
+def meta001_stale_suppression(_module: object) -> Iterator[object]:
+    return iter(())  # engine-computed; see repro.lint.engine.run_rules

@@ -1,0 +1,179 @@
+"""DET007 — interprocedural nondeterminism taint.
+
+The per-file DET rules are scoped: a wall-clock read *inside*
+``fleet/`` is DET001, but a helper in an unscoped module (``analysis``,
+``device``, an experiment script) that reads ``time.time()`` and is
+*called from* the deterministic surface sailed straight through the
+per-file pass. DET007 closes that hole with the call graph: every
+nondeterminism source — wall-clock/entropy reads, global-``random``
+draws, hash-order serialization (unsorted ``json.dumps``) — taints its
+function, taint propagates backwards along resolved call edges, and
+any call **from** a scoped module **into** a tainted function outside
+the scope is flagged at the call site, with the full call chain in the
+message (``fleet.worker.run_tasks → analysis.foo → time.time``).
+
+Scope semantics are intrinsic to the rule (the per-category scope sets
+are the same ones the per-file DET rules use), so ``--no-scope`` does
+not widen it: an in-scope direct read is DET001/DET002/DET004
+territory, and in-scope→in-scope propagation needs no extra finding —
+the boundary crossing is the only edge the per-file pass cannot see.
+
+A source whose line carries a ``# seedlint: disable=`` comment for the
+matching per-file rule (or for DET007 itself) is **sanctioned**: it
+generates no taint, and the suppression is recorded as consumed so the
+stale-suppression meta rule (META001) does not report it — this is how
+the one wall-clock read in ``serve/store.py`` stays legal without its
+transitive callers lighting up.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Iterator
+
+from repro.lint.astutil import call_name, keyword_arg
+from repro.lint.finding import Finding
+from repro.lint.graph import FunctionNode, Program, module_dotted
+from repro.lint.registry import rule
+from repro.lint.rules.det import (
+    DET_ORDER_SCOPE,
+    DET_RNG_SCOPE,
+    DET_SCOPE,
+    _GLOBAL_RANDOM_FNS,
+    _match_banned,
+)
+
+#: Taint categories: (boundary scope, sanctioning per-file rule, label).
+_CATEGORIES = {
+    "clock": (DET_SCOPE, "DET001", "wall-clock/entropy read"),
+    "random": (DET_RNG_SCOPE, "DET002", "global random draw"),
+    "order": (DET_ORDER_SCOPE, "DET004", "unsorted serialization"),
+}
+
+
+def _in_scope(scope_key: str, scopes: tuple[str, ...]) -> bool:
+    return any(
+        scope_key == prefix or scope_key.startswith(prefix + "/")
+        for prefix in scopes
+    )
+
+
+def _source_calls(fn: FunctionNode) -> Iterator[tuple[str, int, str]]:
+    """(category, line, offending dotted call) for direct sources in
+    ``fn``'s body."""
+    for node in fn.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = call_name(node)
+        if dotted is None:
+            continue
+        if _match_banned(dotted) is not None:
+            yield ("clock", node.lineno, dotted)
+            continue
+        head, _, tail = dotted.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            yield ("random", node.lineno, dotted)
+            continue
+        if dotted in ("json.dumps", "json.dump"):
+            sort_keys = keyword_arg(node, "sort_keys")
+            if not (
+                isinstance(sort_keys, ast.Constant) and sort_keys.value is True
+            ):
+                yield ("order", node.lineno, dotted)
+
+
+def _render_chain(
+    program: Program,
+    start: str,
+    category: str,
+    taint: dict[tuple[str, str], tuple[str | None, int, str]],
+) -> tuple[str, str, int, str]:
+    """Follow taint parent pointers from ``start`` down to the source;
+    returns (rendered chain, source path, source line, source call)."""
+    hops: list[str] = []
+    key: str | None = start
+    last = start
+    line, dotted = 0, ""
+    while key is not None:
+        last = key
+        fn = program.functions[key]
+        label = module_dotted(fn.module.scope_key) or fn.module.scope_key
+        hops.append(f"{label}.{fn.qualname}".replace(".<module>", ""))
+        key, line, dotted = taint[(key, category)]
+    source_path = program.functions[last].module.path
+    return " → ".join(hops), source_path, line, dotted
+
+
+@rule(
+    "DET007",
+    "no call chain from the deterministic surface may reach a "
+    "wall-clock/entropy read, global random draw, or unsorted "
+    "serialization in any module (interprocedural taint over the "
+    "call graph)",
+    whole_program=True,
+)
+def det007_cross_module_taint(program: Program) -> Iterator[Finding]:
+    # 1. Direct sources, minus sanctioned ones (suppressed at the
+    #    source line for the per-file rule or for DET007 itself).
+    taint: dict[tuple[str, str], tuple[str | None, int, str]] = {}
+    queue: deque[tuple[str, str]] = deque()
+    for key in sorted(program.functions):
+        fn = program.functions[key]
+        for category, line, dotted in _source_calls(fn):
+            base_rule = _CATEGORIES[category][1]
+            sanctioned = False
+            for rule_id in (base_rule, "DET007"):
+                match = fn.module.match_suppression(line, rule_id)
+                if match is not None:
+                    scope_line, token = match
+                    program.consume_suppression(
+                        fn.module.path,
+                        1 if scope_line == 0 else scope_line,
+                        token,
+                    )
+                    sanctioned = True
+            if sanctioned or (key, category) in taint:
+                continue
+            taint[(key, category)] = (None, line, dotted)
+            queue.append((key, category))
+
+    # 2. Propagate backwards along call edges (callee → caller).
+    while queue:
+        key, category = queue.popleft()
+        _, line, dotted = taint[(key, category)]
+        for site in program.callers_of(key):
+            entry = (site.caller, category)
+            if entry in taint:
+                continue
+            taint[entry] = (key, line, dotted)
+            queue.append(entry)
+
+    # 3. Findings at boundary crossings: a scoped caller invoking a
+    #    tainted callee that lives outside the category's scope.
+    for caller_key in sorted(program.edges):
+        caller = program.functions[caller_key]
+        for site in program.edges[caller_key]:
+            callee = program.functions[site.callee]
+            for category, (scopes, _, label) in sorted(_CATEGORIES.items()):
+                if (site.callee, category) not in taint:
+                    continue
+                if not _in_scope(caller.module.scope_key, scopes):
+                    continue
+                if _in_scope(callee.module.scope_key, scopes):
+                    continue  # in-scope callee: per-file rules own it
+                chain, src_path, src_line, src_dotted = _render_chain(
+                    program, site.callee, category, taint)
+                caller_label = (
+                    module_dotted(caller.module.scope_key)
+                    or caller.module.scope_key)
+                head = f"{caller_label}.{caller.qualname}".replace(
+                    ".<module>", "")
+                yield Finding(
+                    caller.module.path, site.line, site.col, "DET007",
+                    f"call from the deterministic surface reaches a "
+                    f"{label} outside the scoped per-file pass: "
+                    f"{head} → {chain} → {src_dotted}() "
+                    f"(at {src_path}:{src_line}); inject the value or "
+                    f"derive it via simkernel.rng.derive_seed",
+                )

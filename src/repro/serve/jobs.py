@@ -114,7 +114,7 @@ class Job:
                     time.perf_counter() - self._submitted, 6)
                 self._started = time.perf_counter()
             elif state.terminal:
-                self.stop_clock()
+                self._stop_clock_locked()
             self._bump_locked()
             return True
 
@@ -136,21 +136,32 @@ class Job:
             self._bump_locked()
             return True
 
-    def stop_clock(self) -> None:
-        """Fix ``run_wall_s`` now (idempotent) — called before the
-        registry snapshot so recorded timings include the run wall."""
+    def _stop_clock_locked(self) -> None:
+        """Fix ``run_wall_s`` now (idempotent); caller holds ``cond``."""
         started = getattr(self, "_started", self._submitted)
         self.timings.setdefault(
             "run_wall_s", round(time.perf_counter() - started, 6))
 
+    def stop_clock(self) -> None:
+        """Fix ``run_wall_s`` now (idempotent) — called before the
+        registry snapshot so recorded timings include the run wall."""
+        with self.cond:
+            self._stop_clock_locked()
+
     def note_shard(self, shard_id: int, result: dict) -> None:
-        """Fold one landed shard into the streaming aggregate."""
-        if "submit_to_first_shard_s" not in self.timings:
-            self.timings["submit_to_first_shard_s"] = round(
-                time.perf_counter() - self._submitted, 6)
-        self.stream.fold_shard(result)
-        self.shards_done += 1
-        self._bump()
+        """Fold one landed shard into the streaming aggregate.
+
+        Runs on the executor thread; the fold, counters, and version
+        bump happen under ``cond`` so a concurrent ``snapshot`` never
+        observes a half-applied shard (CONC001 discipline).
+        """
+        with self.cond:
+            if "submit_to_first_shard_s" not in self.timings:
+                self.timings["submit_to_first_shard_s"] = round(
+                    time.perf_counter() - self._submitted, 6)
+            self.stream.fold_shard(result)
+            self.shards_done += 1
+            self._bump_locked()
 
     def request_cancel(self) -> None:
         """Cancel: immediate for queued jobs, cooperative for running.
@@ -166,7 +177,7 @@ class Job:
         with self.cond:
             if self.state is JobState.QUEUED:
                 self.state = JobState.CANCELLED
-                self.stop_clock()
+                self._stop_clock_locked()
             self._bump_locked()
 
     @property
@@ -182,24 +193,29 @@ class Job:
                 timeout=timeout)
 
     def snapshot(self, aggregate: bool = True) -> dict:
-        """JSON-safe status, optionally with the partial aggregate."""
-        status = {
-            "job_id": self.job_id,
-            "fingerprint": self.fingerprint,
-            "state": self.state.value,
-            "error": self.error,
-            "version": self.version,
-            "shards_done": self.shards_done,
-            "shards_total": self.shards_total,
-            "tasks_done": self.stream.tasks,
-            "tasks_total": self.tasks_total,
-            "timings": dict(sorted(self.timings.items())),
-            "registry_path": self.registry_path,
-            "spec": self.spec,
-        }
-        if aggregate:
-            status["aggregate"] = self.stream.result()
-        return status
+        """JSON-safe status, optionally with the partial aggregate.
+
+        Taken under ``cond``: handler threads must never see a state/
+        version/aggregate combination that no single moment produced.
+        """
+        with self.cond:
+            status = {
+                "job_id": self.job_id,
+                "fingerprint": self.fingerprint,
+                "state": self.state.value,
+                "error": self.error,
+                "version": self.version,
+                "shards_done": self.shards_done,
+                "shards_total": self.shards_total,
+                "tasks_done": self.stream.tasks,
+                "tasks_total": self.tasks_total,
+                "timings": dict(sorted(self.timings.items())),
+                "registry_path": self.registry_path,
+                "spec": self.spec,
+            }
+            if aggregate:
+                status["aggregate"] = self.stream.result()
+            return status
 
 
 class JobQueue:
@@ -257,14 +273,20 @@ class JobQueue:
         return job
 
     def get(self, job_id: str) -> Job | None:
-        return self._jobs.get(job_id)
+        with self._lock:
+            return self._jobs.get(job_id)
 
     def jobs(self) -> list[Job]:
         """All known jobs, in submission order."""
-        return [self._jobs[job_id] for job_id in self._order]
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
 
     def cancel(self, job_id: str) -> Job | None:
-        job = self._jobs.get(job_id)
+        with self._lock:
+            job = self._jobs.get(job_id)
+        # The cancel itself happens outside _lock: request_cancel takes
+        # the job's cond, and holding both here would order the two
+        # locks against every other path for no benefit.
         if job is not None:
             job.request_cancel()
         return job

@@ -1,0 +1,18 @@
+"""CONC001 bad: ``total`` is written under the lock but read bare."""
+
+import threading
+
+
+class ShardCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def snapshot(self):
+        # Bare read of a guarded attribute: a concurrent add() can be
+        # half-applied from this thread's point of view.
+        return {"total": self.total}

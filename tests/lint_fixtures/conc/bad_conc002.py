@@ -1,0 +1,21 @@
+"""CONC002 bad: a single ``if``-guarded wait misses spurious wakeups
+and predicates stolen between notify and wakeup."""
+
+import threading
+
+
+class Gate:
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.ready = False
+
+    def open(self):
+        with self.cond:
+            self.ready = True
+            self.cond.notify_all()
+
+    def await_open(self):
+        with self.cond:
+            if not self.ready:
+                self.cond.wait()
+            return self.ready

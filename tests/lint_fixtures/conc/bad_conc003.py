@@ -1,0 +1,16 @@
+"""CONC003 bad: the state transition happens outside the owning lock,
+so the check and the store are not one atomic section."""
+
+import threading
+
+
+class SweepJob:
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.state = "queued"
+
+    def mark(self, state):
+        if self.state in ("done", "cancelled"):
+            return False
+        self.state = state
+        return True

@@ -1,0 +1,46 @@
+"""The pre-PR-7 ``serve.jobs`` cancel race, preserved as a fixture.
+
+Before the CAS-style ``mark``/``try_start`` fix, a cancel landing
+between dequeue and first dispatch could be lost: ``request_cancel``
+checked ``state`` and wrote ``CANCELLED`` with no lock held while the
+executor thread raced ``mark(RUNNING)`` — the exact interleaving the
+``TestCancelRace`` runtime test reproduces. CONC003 must flag every
+bare transition in this shape; the fixture pins that the rule family
+actually sees the bug class that motivated it.
+"""
+
+import threading
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    CANCELLED = "cancelled"
+
+
+class Job:
+    def __init__(self, job_id):
+        self.job_id = job_id
+        self.state = JobState.QUEUED
+        self.version = 0
+        self.cond = threading.Condition()
+
+    def mark(self, state):
+        # No lock around check+store: a cancel can interleave after the
+        # terminal check and be overwritten — the job resurrects as
+        # RUNNING after reporting cancelled.
+        if self.state == JobState.CANCELLED:
+            return False
+        self.state = state
+        with self.cond:
+            self.version += 1
+            self.cond.notify_all()
+        return True
+
+    def request_cancel(self):
+        # Same shape from the other side: queued-check then bare store.
+        if self.state == JobState.QUEUED:
+            self.state = JobState.CANCELLED
+        with self.cond:
+            self.version += 1
+            self.cond.notify_all()

@@ -1,0 +1,25 @@
+"""CONC001 good: every touch of ``total`` holds the lock — lexically,
+via the ``*_locked`` naming convention, or via the ``holds=``
+annotation for methods whose contract is caller-holds-the-lock."""
+
+import threading
+
+
+class ShardCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self._bump_locked(n)
+
+    def _bump_locked(self, n):
+        self.total += n
+
+    def reset(self):  # seedlint: holds=_lock
+        self.total = 0
+
+    def snapshot(self):
+        with self._lock:
+            return {"total": self.total}

@@ -1,0 +1,25 @@
+"""CONC002 good: the predicate is re-checked in a loop (or the loop is
+delegated to ``wait_for``, which embeds it)."""
+
+import threading
+
+
+class Gate:
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.ready = False
+
+    def open(self):
+        with self.cond:
+            self.ready = True
+            self.cond.notify_all()
+
+    def await_open(self):
+        with self.cond:
+            while not self.ready:
+                self.cond.wait()
+            return self.ready
+
+    def await_open_fast(self, timeout):
+        with self.cond:
+            return self.cond.wait_for(lambda: self.ready, timeout=timeout)

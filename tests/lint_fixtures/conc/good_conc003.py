@@ -1,0 +1,18 @@
+"""CONC003 good: CAS-style transition — terminal-state check and store
+are one locked section, so no cancel can interleave."""
+
+import threading
+
+
+class SweepJob:
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.state = "queued"
+
+    def mark(self, state):
+        with self.cond:
+            if self.state in ("done", "cancelled"):
+                return False
+            self.state = state
+            self.cond.notify_all()
+            return True

@@ -1,0 +1,6 @@
+"""META001 bad: the disable comment suppresses nothing — the offending
+call was removed in a refactor and the comment outlived it."""
+
+
+def horizon_for(shard):
+    return float(shard) * 2.0  # seedlint: disable=DET001

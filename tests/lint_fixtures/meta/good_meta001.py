@@ -1,0 +1,9 @@
+"""META001 good: the disable comment absorbs a real DET001 finding, so
+it is live and must not be reported stale."""
+
+import time
+
+
+def stamp(meta):
+    meta["recorded_unix"] = time.time()  # seedlint: disable=DET001
+    return meta

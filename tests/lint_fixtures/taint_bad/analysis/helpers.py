@@ -1,0 +1,12 @@
+"""Unscoped helper module: outside DET_SCOPE, so DET001 stays silent
+here by design — the taint pass must carry the poison to the caller."""
+
+import time
+
+
+def sample_latency(task):
+    return wall_ms() - float(task)
+
+
+def wall_ms():
+    return time.time() * 1000.0

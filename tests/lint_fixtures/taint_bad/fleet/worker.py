@@ -1,0 +1,14 @@
+"""Scoped caller: ``fleet/`` is on the deterministic surface, so the
+per-file DET pass covers direct reads here — but the wall-clock read it
+reaches lives two hops away in ``analysis/``, which the per-file pass
+never visits. Only the whole-program taint pass (DET007) can see it.
+"""
+
+from repro.analysis.helpers import sample_latency
+
+
+def run_tasks(tasks):
+    results = []
+    for task in tasks:
+        results.append(sample_latency(task))
+    return results

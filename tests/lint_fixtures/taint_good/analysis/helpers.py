@@ -1,0 +1,19 @@
+"""Clean twin of the taint_bad helper: perf_counter is monotonic and
+never feeds identity; the one wall-clock read is display-only metadata
+and sanctioned where it happens, which the taint pass honours."""
+
+import time
+
+
+def sample_latency(task):
+    return elapsed_ms() - float(task)
+
+
+def elapsed_ms():
+    return time.perf_counter() * 1000.0
+
+
+def stamp_meta(meta):
+    stamped = dict(meta)
+    stamped["recorded_unix"] = time.time()  # seedlint: disable=DET007
+    return stamped

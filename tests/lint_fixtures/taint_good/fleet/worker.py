@@ -1,0 +1,10 @@
+"""Scoped caller whose helpers are clean: one path uses monotonic
+telemetry (legal everywhere), the other reaches a wall-clock read that
+is explicitly sanctioned at the source with a disable comment."""
+
+from repro.analysis.helpers import sample_latency, stamp_meta
+
+
+def run_tasks(tasks):
+    results = [sample_latency(task) for task in tasks]
+    return stamp_meta({"results": results})

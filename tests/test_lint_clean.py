@@ -15,6 +15,7 @@ from pathlib import Path
 import repro
 from repro.lint import lint_paths
 from repro.lint.cli import main
+from repro.lint.registry import all_rules
 
 SRC_TREE = Path(repro.__file__).resolve().parent
 FIXTURES = Path(__file__).parent / "lint_fixtures"
@@ -22,8 +23,19 @@ FIXTURES = Path(__file__).parent / "lint_fixtures"
 
 class TestLiveTreeClean:
     def test_zero_findings_on_src(self):
+        # Default rule set = the full catalogue, so this run includes
+        # the whole-program pass: DET taint over the call graph, the
+        # CONC lock-discipline family on serve/ and fleet/pool.py, and
+        # META001 stale-suppression accounting.
         findings = lint_paths([SRC_TREE])
         assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_whole_program_families_are_in_the_default_run(self):
+        rules = all_rules()
+        ids = {rule.rule_id for rule in rules}
+        assert {"DET007", "CONC001", "CONC002", "CONC003", "META001"} <= ids
+        assert any(rule.whole_program for rule in rules)
+        assert any(rule.meta for rule in rules)
 
     def test_cli_exits_zero_on_src(self, capsys):
         assert main([str(SRC_TREE)]) == 0

@@ -20,8 +20,11 @@ FIXTURES = Path(__file__).parent / "lint_fixtures"
 PER_FILE_RULES = (
     "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
     "SAFE001", "SAFE002", "SAFE003", "SAFE004",
+    "CONC001", "CONC002", "CONC003",
 )
 PROTO_RULES = ("PROTO001", "PROTO002", "PROTO003", "PROTO004")
+WHOLE_PROGRAM_RULES = ("DET007",)
+META_RULES = ("META001",)
 
 
 def rules_found(path: Path, enforce_scope: bool = False) -> set[str]:
@@ -29,13 +32,13 @@ def rules_found(path: Path, enforce_scope: bool = False) -> set[str]:
 
 
 class TestFixtureCorpus:
-    @pytest.mark.parametrize("rule_id", PER_FILE_RULES)
+    @pytest.mark.parametrize("rule_id", PER_FILE_RULES + META_RULES)
     def test_bad_snippet_caught(self, rule_id):
         family = rule_id[:-3].lower()
         path = FIXTURES / family / f"bad_{rule_id.lower()}.py"
         assert rule_id in rules_found(path)
 
-    @pytest.mark.parametrize("rule_id", PER_FILE_RULES)
+    @pytest.mark.parametrize("rule_id", PER_FILE_RULES + META_RULES)
     def test_good_snippet_clean(self, rule_id):
         family = rule_id[:-3].lower()
         path = FIXTURES / family / f"good_{rule_id.lower()}.py"
@@ -104,11 +107,82 @@ class TestScoping:
         assert "nas/causes.py" in keys and "core/applet.py" in keys
 
 
+class TestCancelRace:
+    """CONC003 must see the bug class that motivated it: the pre-PR-7
+    serve.jobs cancel race, preserved verbatim as a fixture."""
+
+    def test_conc003_flags_both_bare_transitions(self):
+        findings = lint_paths([FIXTURES / "conc" / "cancel_race.py"],
+                              enforce_scope=False)
+        conc003 = [f for f in findings if f.rule == "CONC003"]
+        # One bare `self.state = ...` in mark(), one in request_cancel().
+        assert len(conc003) == 2, [f.render() for f in findings]
+        assert all("state" in f.message for f in conc003)
+
+    def test_cas_rewrite_is_clean(self):
+        findings = lint_paths([FIXTURES / "conc" / "good_conc003.py"],
+                              enforce_scope=False)
+        assert [f for f in findings if f.rule.startswith("CONC")] == []
+
+
+class TestTaint:
+    def test_cross_module_wall_clock_chain(self):
+        findings = lint_paths([FIXTURES / "taint_bad"], enforce_scope=True)
+        det007 = [f for f in findings if f.rule == "DET007"]
+        assert len(det007) == 1, [f.render() for f in findings]
+        finding = det007[0]
+        # Anchored at the boundary call site inside the scoped caller,
+        # not at the out-of-scope source.
+        assert finding.path.endswith("fleet/worker.py")
+        # The message walks the whole chain and names the true source.
+        assert "fleet.worker.run_tasks" in finding.message
+        assert "analysis.helpers.sample_latency" in finding.message
+        assert "analysis.helpers.wall_ms" in finding.message
+        assert "time.time" in finding.message
+        assert "helpers.py:12" in finding.message
+
+    def test_per_file_pass_alone_misses_it(self):
+        # The scoped per-file DET pass never visits analysis/, so the
+        # wall-clock read is invisible without the taint walker.
+        findings = lint_paths([FIXTURES / "taint_bad"], enforce_scope=True)
+        assert [f for f in findings if f.rule == "DET001"] == []
+
+    def test_clean_and_sanctioned_tree_quiet(self):
+        # perf_counter is legal, and the one wall-clock read is
+        # sanctioned at the source — no taint finding, and the disable
+        # comment is consumed (no META001 either).
+        findings = lint_paths([FIXTURES / "taint_good"], enforce_scope=True)
+        assert findings == [], [f.render() for f in findings]
+
+
+class TestStaleSuppression:
+    def test_dead_disable_comment_reported(self):
+        findings = lint_paths([FIXTURES / "meta" / "bad_meta001.py"],
+                              enforce_scope=False)
+        assert [f.rule for f in findings] == ["META001"]
+        assert "DET001" in findings[0].message
+
+    def test_live_disable_comment_not_reported(self):
+        assert rules_found(FIXTURES / "meta" / "good_meta001.py") == set()
+
+    def test_select_subset_does_not_declare_rest_stale(self):
+        # Judging only rules that ran: under --select SAFE the DET001
+        # token cannot be proven stale, so META001 stays quiet.
+        from repro.lint.registry import all_rules as catalogue
+        subset = [r for r in catalogue()
+                  if r.rule_id.startswith("SAFE") or r.rule_id == "META001"]
+        findings = lint_paths([FIXTURES / "meta" / "bad_meta001.py"],
+                              rules=subset, enforce_scope=False)
+        assert findings == [], [f.render() for f in findings]
+
+
 class TestRegistry:
     def test_rule_catalogue_is_complete(self):
         ids = {rule.rule_id for rule in all_rules()}
         assert set(PER_FILE_RULES) <= ids
         assert set(PROTO_RULES) <= ids
+        assert set(WHOLE_PROGRAM_RULES) <= ids
+        assert set(META_RULES) <= ids
 
     def test_parse_error_becomes_finding(self, tmp_path):
         bad = tmp_path / "broken.py"
