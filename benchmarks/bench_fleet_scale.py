@@ -2,40 +2,69 @@
 
 Runs the Table 4 suite (reduced size) through ``repro.fleet`` at
 increasing worker counts and writes ``BENCH_fleet.json`` at the repo
-root so the throughput trajectory is tracked across revisions. The
-speedup assertion is gated on the machine actually having the cores:
-on a single-core container the parallel path must merely not collapse.
+root so the throughput trajectory is tracked across revisions.
 
-Since the warm :class:`~repro.fleet.pool.WorkerPool` landed, the bench
-also measures back-to-back sweeps on a reused pool (``warm_pool``
-section): per-sweep pool spin-up was the bulk of the <1x multi-worker
-overhead on small boxes, so the warm numbers are the "after" to the
-throwaway-executor "before" at the same worker counts.
+Three sections, matching the three executor paths:
+
+* ``workers`` — the shipped default (``executor="auto"``). This suite
+  is small enough that the cost model runs it inline at every worker
+  count, so the historical <1x multi-worker collapse on small boxes is
+  gone by construction: the 4-worker speedup must stay >= 0.9 (and in
+  practice sits at ~1.0) even on a single-core container.
+* ``forced_pool`` — ``executor="pool"``, the honest process fan-out
+  numbers including per-sweep executor spin-up (the old default).
+* ``warm_pool`` — ``executor="pool"`` on a reused
+  :class:`~repro.fleet.pool.WorkerPool`; spin-up excluded, which is
+  what a resident daemon pays once per pool lifetime, not per sweep.
+
+On checkout the committed ``BENCH_fleet.json`` is the baseline: the
+auto-path 4-worker speedup must not regress below it (with slack),
+which is the CI perf-smoke gate for the dispatch redesign.
+
+Runs under pytest (``pytest benchmarks/bench_fleet_scale.py``) or
+directly (``PYTHONPATH=src python benchmarks/bench_fleet_scale.py``).
 """
 
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
-from repro.analysis.tables import format_table
-from repro.experiments import table4
-from repro.fleet import FleetRunner, WorkerPool
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+from repro.analysis.tables import format_table  # noqa: E402
+from repro.experiments import table4  # noqa: E402
+from repro.fleet import FleetRunner, WorkerPool, resolve_executor  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_fleet.json"
 WORKER_COUNTS = (1, 2, 4)
-WARM_COUNTS = (2, 4)
+POOL_COUNTS = (2, 4)
+#: Allowed absolute drop of the auto-path 4-worker speedup vs the
+#: committed baseline before the bench fails (machine noise headroom).
+BASELINE_SLACK = 0.15
+
+
+def _timed_sweep(plan, **runner_kwargs):
+    started = time.perf_counter()
+    report = FleetRunner(plan, **runner_kwargs).run()
+    wall = time.perf_counter() - started
+    assert report.complete, f"failed shards under {runner_kwargs}"
+    return report, wall
 
 
 def test_fleet_scale():
     plan = table4.fleet_plan(runs=8, seed=4000, shard_size=2)
+    baseline = None
+    if BENCH_PATH.exists():
+        baseline = json.loads(BENCH_PATH.read_text())
+
     measured = {}
     baseline_aggregate = None
     for workers in WORKER_COUNTS:
-        started = time.perf_counter()
-        report = FleetRunner(plan, workers=workers).run()
-        wall = time.perf_counter() - started
-        assert report.complete, f"failed shards at workers={workers}"
+        report, wall = _timed_sweep(plan, workers=workers)
         if baseline_aggregate is None:
             baseline_aggregate = report.aggregate
         else:
@@ -45,23 +74,34 @@ def test_fleet_scale():
             "wall_seconds": round(wall, 3),
             "scenarios_per_sec": round(len(report.records) / wall, 3),
             "tasks": len(report.records),
+            "executor": resolve_executor("auto", plan, workers),
         }
 
     base = measured[1]["wall_seconds"]
     for workers in WORKER_COUNTS:
-        measured[workers]["speedup"] = round(base / measured[workers]["wall_seconds"], 3)
+        measured[workers]["speedup"] = round(
+            base / measured[workers]["wall_seconds"], 3)
 
-    # After: the same sweeps on a reused warm pool. The priming sweep
-    # (spawn + testbed preload) is excluded — it is what a resident
-    # daemon pays once per pool lifetime, not per sweep.
+    forced = {}
+    for workers in POOL_COUNTS:
+        report, wall = _timed_sweep(plan, workers=workers, executor="pool")
+        assert report.aggregate == baseline_aggregate
+        forced[workers] = {
+            "wall_seconds": round(wall, 3),
+            "scenarios_per_sec": round(len(report.records) / wall, 3),
+            "speedup": round(base / wall, 3),
+            "tasks": len(report.records),
+        }
+
+    # The same sweeps on a reused warm pool; the priming sweep (spawn +
+    # testbed preload) is excluded. executor="pool" pins the pool path:
+    # auto would run this suite inline and never touch the executor.
     warm = {}
-    for workers in WARM_COUNTS:
+    for workers in POOL_COUNTS:
         with WorkerPool(workers) as pool:
-            FleetRunner(plan, pool=pool).run()           # prime
-            started = time.perf_counter()
-            report = FleetRunner(plan, pool=pool).run()
-            wall = time.perf_counter() - started
-            assert report.complete and pool.executors_spawned == 1
+            FleetRunner(plan, pool=pool, executor="pool").run()   # prime
+            report, wall = _timed_sweep(plan, pool=pool, executor="pool")
+            assert pool.executors_spawned == 1
             assert report.aggregate == baseline_aggregate
         warm[workers] = {
             "wall_seconds": round(wall, 3),
@@ -73,27 +113,50 @@ def test_fleet_scale():
     BENCH_PATH.write_text(json.dumps(
         {"suite": "table4", "runs": 8, "cpu_count": os.cpu_count(),
          "workers": {str(w): measured[w] for w in WORKER_COUNTS},
-         "warm_pool": {str(w): warm[w] for w in WARM_COUNTS}},
+         "forced_pool": {str(w): forced[w] for w in POOL_COUNTS},
+         "warm_pool": {str(w): warm[w] for w in POOL_COUNTS}},
         indent=1, sort_keys=True) + "\n")
 
-    rows = [[f"{w} (cold)", f"{m['wall_seconds']:.2f}",
+    rows = [[f"{w} ({m['executor']})", f"{m['wall_seconds']:.2f}",
              f"{m['scenarios_per_sec']:.1f}", f"{m['speedup']:.2f}x"]
             for w, m in measured.items()]
-    rows += [[f"{w} (warm)", f"{m['wall_seconds']:.2f}",
+    rows += [[f"{w} (pool cold)", f"{m['wall_seconds']:.2f}",
+              f"{m['scenarios_per_sec']:.1f}", f"{m['speedup']:.2f}x"]
+             for w, m in forced.items()]
+    rows += [[f"{w} (pool warm)", f"{m['wall_seconds']:.2f}",
               f"{m['scenarios_per_sec']:.1f}", f"{m['speedup']:.2f}x"]
              for w, m in warm.items()]
     print()
     print(format_table(["Workers", "Wall (s)", "Scenarios/sec", "Speedup"],
                        rows, title="Fleet scaling — Table 4 suite (reduced)"))
 
-    # A reused pool must stop losing to sequential: the warm path is
-    # the fix for the cold <1x overhead recorded above.
-    assert warm[2]["speedup"] >= measured[2]["speedup"]
+    # A reused pool must stop losing to the throwaway executor: warm
+    # removes spin-up, the bulk of the cold pool's overhead.
+    assert warm[2]["speedup"] >= forced[2]["speedup"]
+
+    # The adaptive executor is what fixed the multi-worker collapse on
+    # small boxes: auto must hold ~1x at 4 workers regardless of cores.
+    assert measured[4]["speedup"] >= 0.9, measured[4]
+
+    if baseline is not None:
+        old = baseline.get("workers", {}).get("4", {}).get("speedup")
+        if old is not None:
+            # Inline-vs-inline jitter can push past 1x either way, so a
+            # baseline above parity is treated as parity.
+            target = min(old, 1.0) - BASELINE_SLACK
+            assert measured[4]["speedup"] >= target, (
+                f"4-worker auto speedup {measured[4]['speedup']} regressed "
+                f"vs committed baseline {old}")
 
     cores = os.cpu_count() or 1
     if cores >= 4:
-        assert measured[4]["speedup"] >= 2.0
+        assert forced[4]["speedup"] >= 2.0
     else:
         # Single/dual-core box: process fan-out cannot beat the clock,
         # but overhead must stay bounded.
-        assert measured[4]["speedup"] > 0.3
+        assert forced[4]["speedup"] > 0.3
+
+
+if __name__ == "__main__":
+    test_fleet_scale()
+    print("\nfleet scaling gates ok")

@@ -17,6 +17,8 @@ from repro.fleet.planner import (
     FleetPlan,
     Shard,
     TaskSpec,
+    chunk_cohorts,
+    estimated_plan_cost,
     filter_scenarios,
     matrix_tasks,
     plan_from_spec,
@@ -25,13 +27,20 @@ from repro.fleet.planner import (
     shard_tasks,
     suite_tasks,
 )
-from repro.fleet.pool import PoolOutcome, WorkerPool, execute_plan
+from repro.fleet.pool import (
+    EXECUTOR_MODES,
+    PoolOutcome,
+    WorkerPool,
+    execute_plan,
+    resolve_executor,
+)
 from repro.fleet.runner import FleetRunner
 from repro.fleet.worker import run_shard, run_task
 
 __all__ = [
     "Checkpoint",
     "CheckpointMismatch",
+    "EXECUTOR_MODES",
     "FleetCell",
     "FleetPlan",
     "FleetReport",
@@ -42,6 +51,8 @@ __all__ = [
     "WorkerPool",
     "aggregate_records",
     "canonical_json",
+    "chunk_cohorts",
+    "estimated_plan_cost",
     "execute_plan",
     "filter_scenarios",
     "matrix_tasks",
@@ -49,6 +60,7 @@ __all__ = [
     "plan_from_spec",
     "plan_matrix",
     "repeat_tasks",
+    "resolve_executor",
     "run_shard",
     "run_task",
     "shard_tasks",

@@ -6,10 +6,14 @@ A fleet run directory holds three files:
   written once, verified on resume so a directory can never silently
   mix results from two different plans.
 * ``shards.jsonl`` — one line per shard *attempt outcome* (``ok`` with
-  the full shard result, or ``failed`` with the error). Appended and
-  flushed per shard, so a killed run loses at most the shard that was
-  in flight; a truncated trailing line (the kill landed mid-write) is
-  tolerated and simply re-run.
+  the full shard result, or ``failed`` with the error). By default
+  appended, flushed, and fsynced per shard; under buffered mode (see
+  :meth:`Checkpoint.begin_buffered`) whole steal batches are written
+  in one syscall + one fsync instead, so checkpoint durability stops
+  costing one disk round-trip per record on the dispatch hot path. A
+  truncated trailing line (a kill landed mid-write) is tolerated and
+  simply re-run; a buffered batch lost to a kill re-runs its shards
+  the same way.
 * ``aggregate.json`` — written by the runner after a complete pass.
 
 Resume semantics: shards with an ``ok`` line are skipped; everything
@@ -20,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 from repro.fleet.planner import FleetPlan
@@ -41,6 +46,11 @@ class Checkpoint:
         self.manifest_path = self.out_dir / MANIFEST_NAME
         self.shards_path = self.out_dir / SHARDS_NAME
         self.aggregate_path = self.out_dir / AGGREGATE_NAME
+        # Buffered-batch writer state; _buffer is guarded by _lock (the
+        # pool's dispatch thread fills it while a daemon close path may
+        # flush it).
+        self._lock = threading.Lock()
+        self._buffer: list[str] | None = None
 
     # ------------------------------------------------------------------
     def bind(self, plan: FleetPlan) -> None:
@@ -108,12 +118,41 @@ class Checkpoint:
         return failed
 
     # ------------------------------------------------------------------
-    def _append(self, entry: dict) -> None:
+    def begin_buffered(self) -> None:
+        """Switch to batched writes: records queue until :meth:`flush`.
+
+        The dispatch path flushes once per steal batch, turning N
+        fsyncs per batch into one. Torn-tail safety is unchanged: a
+        flush writes whole lines in a single ``write`` call, so a kill
+        can tear at most the trailing line — which the reader already
+        tolerates — and anything still buffered simply re-runs.
+        """
+        with self._lock:
+            if self._buffer is None:
+                self._buffer = []
+
+    def flush(self) -> None:
+        """Write and fsync any buffered records (no-op when empty)."""
+        with self._lock:
+            if not self._buffer:
+                return
+            lines, self._buffer = self._buffer, []
+        self._write("".join(lines))
+
+    def _write(self, text: str) -> None:
         self.out_dir.mkdir(parents=True, exist_ok=True)
         with self.shards_path.open("a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.write(text)
             fh.flush()
             os.fsync(fh.fileno())
+
+    def _append(self, entry: dict) -> None:
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            if self._buffer is not None:
+                self._buffer.append(line)
+                return
+        self._write(line)
 
     def record_ok(self, shard_id: int, result: dict, attempts: int) -> None:
         self._append({"shard_id": shard_id, "status": "ok",

@@ -52,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="UEs per simulator instance; >1 packs one "
                              "multi-UE cohort per shard (matrix sweeps "
                              "only; default: 1)")
+    parser.add_argument("--cohort-chunks", type=int, default=1,
+                        help="split each cohort shard across this many "
+                             "sub-shards so several workers share one "
+                             "cohort's UEs (matrix sweeps; default: 1)")
+    parser.add_argument("--executor", choices=("auto", "pool", "inline"),
+                        default="auto",
+                        help="dispatch mode: auto lets the planner cost "
+                             "model pick inline vs process pool per sweep; "
+                             "results are identical either way (default: auto)")
     parser.add_argument("--retries", type=int, default=2,
                         help="extra attempts per failed shard (default: 2)")
     parser.add_argument("--out", metavar="DIR",
@@ -86,6 +95,8 @@ def spec_from_args(args: argparse.Namespace) -> dict:
     if args.suite:
         if getattr(args, "cohort_size", 1) != 1:
             raise SystemExit("--cohort-size is only supported for matrix sweeps")
+        if getattr(args, "cohort_chunks", 1) != 1:
+            raise SystemExit("--cohort-chunks is only supported for matrix sweeps")
         return {"kind": "suite", "suite": args.suite, "runs": args.runs,
                 "seed": args.seed, "shard_size": args.shard_size}
     spec = {"kind": "matrix", "scenarios": args.scenario,
@@ -94,6 +105,8 @@ def spec_from_args(args: argparse.Namespace) -> dict:
             "shard_size": args.shard_size}
     if getattr(args, "cohort_size", 1) != 1:
         spec["cohort_size"] = args.cohort_size
+    if getattr(args, "cohort_chunks", 1) != 1:
+        spec["cohort_chunks"] = args.cohort_chunks
     return spec
 
 
@@ -130,7 +143,7 @@ def main(argv: list[str] | None = None) -> int:
           f"workers {args.workers})")
 
     runner = FleetRunner(plan, workers=args.workers, retries=args.retries,
-                         out_dir=args.out)
+                         out_dir=args.out, executor=args.executor)
     try:
         report = runner.run()
     except CheckpointMismatch as exc:

@@ -1,0 +1,513 @@
+"""Versioned binary task/result frames for the dispatch hot path.
+
+The fleet's per-task wire cost used to be a fully pickled ``Shard``
+payload on the way out and a dict-heavy record list on the way back.
+With quiescence and cohorts a scenario costs a few milliseconds, so
+that wire — not the simulated work — dominated multi-worker runs. The
+frame path shrinks it to a few bytes per task:
+
+* the **plan travels once**: workers hold a fingerprint-keyed resident
+  copy of the :class:`~repro.fleet.planner.FleetPlan` (installed from a
+  zlib blob carried by at most the first few frames, or by the cold
+  executor's initializer), so a task submission is just ``(task_index,
+  derived_seed)`` pairs under a shard id;
+* **results pack to structs**: everything reproducible from the plan
+  (scenario, handling, seed, failure class) is *not* echoed back — a
+  record is ``(task_id, duration, flags, elided)`` plus the learning
+  counters, and the pool inflates it into the exact dict the legacy
+  path produced, so checkpoints and aggregates stay byte-identical;
+* **steal batches share one frame**: a frame carries every shard of a
+  steal batch, so the executor round-trip is paid per batch, not per
+  task.
+
+Frames are length-prefixed and versioned (``SF`` magic + version +
+type + body length). Every decoder bounds-checks through
+:class:`_Reader`, so a truncated frame at *any* offset raises
+:class:`FrameError` instead of yielding garbage — mirroring the torn-
+tail tolerance of the shard checkpoint. Frame types are registered in
+the ``_ENCODERS`` **and** ``_DECODERS`` tables; seedlint's PROTO005
+checks the two stay complete.
+
+Nothing in this module executes scenarios: it is a pure codec plus the
+:class:`PlanContext` the pool uses to encode submissions and inflate
+results. The worker-side execution entry lives in
+:mod:`repro.fleet.worker`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.fleet.planner import FleetPlan, Shard, TaskSpec
+from repro.testbed.scenarios import scenario_by_name
+
+MAGIC = b"SF"
+VERSION = 1
+
+_HEADER = struct.Struct("<2sBBI")          # magic, version, type, body length
+_SHARD_HEAD = struct.Struct("<IH")         # shard_id, n_tasks
+_TASK_ENTRY = struct.Struct("<I")          # task_id (seed is varint-packed)
+_RECORD = struct.Struct("<IdBI")           # task_id, duration, flags, elided
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_PID = struct.Struct("<I")
+
+#: Record flag bits (must cover every boolean of the task record).
+_F_RECOVERED = 1
+_F_TIMED = 2
+_F_NOTIFIED = 4
+_F_HANDLED = 8
+
+FINGERPRINT_LEN = 16                       # planner fingerprints: 16 hex chars
+
+
+class FrameError(ValueError):
+    """A frame failed to decode (truncated, corrupt, or wrong version)."""
+
+
+class FrameType(enum.IntEnum):
+    """Registered frame kinds (encode AND decode tables must cover all)."""
+
+    TASK = 1        # pool -> worker: one steal batch of shards to run
+    RESULT = 2      # worker -> pool: packed records per shard of a batch
+    PLAN_MISS = 3   # worker -> pool: resident plan absent, resend with blob
+
+
+# ---------------------------------------------------------------------------
+# Payload dataclasses (what encode takes and decode returns)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskFrame:
+    """One steal batch: compact ``(task_index, seed)`` entries per shard."""
+
+    fingerprint: str
+    #: ``(shard_id, ((task_id, seed), ...))`` per shard of the batch.
+    shards: tuple[tuple[int, tuple[tuple[int, int], ...]], ...]
+    #: zlib plan blob, carried only until every worker confirmed residency.
+    plan_blob: bytes | None = None
+
+
+@dataclass(frozen=True)
+class PackedRecord:
+    """The non-derivable fields of one task record."""
+
+    task_id: int
+    duration: float
+    recovered: bool
+    timed: bool
+    notified_user: bool
+    handled: bool
+    elided_events: int
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's result inside a RESULT frame (records or an error)."""
+
+    shard_id: int
+    records: tuple[PackedRecord, ...] | None = None
+    learning: tuple[tuple[str, tuple[tuple[str, int], ...]], ...] | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ResultFrame:
+    """A worker's reply for one steal batch."""
+
+    fingerprint: str
+    pid: int
+    shards: tuple[ShardOutcome, ...]
+
+
+@dataclass(frozen=True)
+class PlanMissFrame:
+    """The worker does not hold ``fingerprint``; resend with the blob."""
+
+    fingerprint: str
+    pid: int
+
+
+# ---------------------------------------------------------------------------
+# Bounds-checked primitives
+# ---------------------------------------------------------------------------
+class _Reader:
+    """Cursor over a frame body; every read raises FrameError on underflow."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if n < 0 or end > len(self.data):
+            raise FrameError(
+                f"truncated frame: needed {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        return fmt.unpack(self.take(fmt.size))
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise FrameError(
+                f"{len(self.data) - self.pos} trailing bytes after frame body")
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFFFFFF:
+        raise FrameError("string too long for frame")
+    return _U32.pack(len(raw)) + raw
+
+
+def _take_str(reader: _Reader) -> str:
+    (length,) = reader.unpack(_U32)
+    try:
+        return reader.take(length).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FrameError(f"malformed utf-8 in frame string: {exc}") from None
+
+
+def _pack_int(value: int) -> bytes:
+    """Length-prefixed signed big-endian int (seeds may exceed 63 bits)."""
+    length = max(1, (value.bit_length() + 8) // 8)
+    if length > 0xFF:
+        raise FrameError("integer too wide for frame")
+    return bytes((length,)) + value.to_bytes(length, "big", signed=True)
+
+
+def _take_int(reader: _Reader) -> int:
+    (length,) = reader.take(1)
+    return int.from_bytes(reader.take(length), "big", signed=True)
+
+
+def _take_fingerprint(reader: _Reader) -> str:
+    raw = reader.take(FINGERPRINT_LEN)
+    try:
+        return raw.decode("ascii")
+    except UnicodeDecodeError:
+        raise FrameError("malformed fingerprint in frame") from None
+
+
+def _pack_fingerprint(fingerprint: str) -> bytes:
+    raw = fingerprint.encode("ascii")
+    if len(raw) != FINGERPRINT_LEN:
+        raise FrameError(
+            f"fingerprint must be {FINGERPRINT_LEN} chars, got {len(raw)}")
+    return raw
+
+
+# ---------------------------------------------------------------------------
+# Body codecs (one encode/decode pair per FrameType)
+# ---------------------------------------------------------------------------
+def _shard_segment(shard_id: int, tasks: tuple[tuple[int, int], ...]) -> bytes:
+    """One shard's wire segment of a TASK body (cacheable per plan)."""
+    parts = [_SHARD_HEAD.pack(shard_id, len(tasks))]
+    for task_id, seed in tasks:
+        parts.append(_TASK_ENTRY.pack(task_id))
+        parts.append(_pack_int(seed))
+    return b"".join(parts)
+
+
+def _task_body(fingerprint: str, segments: list[bytes],
+               plan_blob: bytes | None) -> bytes:
+    parts = [_pack_fingerprint(fingerprint)]
+    parts.append(bytes((1 if plan_blob is not None else 0,)))
+    if plan_blob is not None:
+        parts.append(_U32.pack(len(plan_blob)))
+        parts.append(plan_blob)
+    parts.append(_U16.pack(len(segments)))
+    parts.extend(segments)
+    return b"".join(parts)
+
+
+def _encode_task_body(frame: TaskFrame) -> bytes:
+    return _task_body(
+        frame.fingerprint,
+        [_shard_segment(shard_id, tasks) for shard_id, tasks in frame.shards],
+        frame.plan_blob)
+
+
+def _decode_task_body(body: bytes) -> TaskFrame:
+    reader = _Reader(body)
+    fingerprint = _take_fingerprint(reader)
+    (has_blob,) = reader.take(1)
+    blob = None
+    if has_blob:
+        (blob_len,) = reader.unpack(_U32)
+        blob = reader.take(blob_len)
+    (n_shards,) = reader.unpack(_U16)
+    shards = []
+    for _ in range(n_shards):
+        shard_id, n_tasks = reader.unpack(_SHARD_HEAD)
+        tasks = []
+        for _ in range(n_tasks):
+            (task_id,) = reader.unpack(_TASK_ENTRY)
+            tasks.append((task_id, _take_int(reader)))
+        shards.append((shard_id, tuple(tasks)))
+    reader.done()
+    return TaskFrame(fingerprint=fingerprint, shards=tuple(shards),
+                     plan_blob=blob)
+
+
+def _encode_result_body(frame: ResultFrame) -> bytes:
+    parts = [_pack_fingerprint(frame.fingerprint), _PID.pack(frame.pid),
+             _U16.pack(len(frame.shards))]
+    for outcome in frame.shards:
+        ok = outcome.error is None
+        parts.append(_U32.pack(outcome.shard_id))
+        parts.append(bytes((0 if ok else 1,)))
+        if not ok:
+            parts.append(_pack_str(outcome.error))
+            continue
+        records = outcome.records or ()
+        parts.append(_U16.pack(len(records)))
+        for record in records:
+            flags = ((_F_RECOVERED if record.recovered else 0)
+                     | (_F_TIMED if record.timed else 0)
+                     | (_F_NOTIFIED if record.notified_user else 0)
+                     | (_F_HANDLED if record.handled else 0))
+            parts.append(_RECORD.pack(record.task_id, record.duration,
+                                      flags, record.elided_events))
+        learning = outcome.learning or ()
+        parts.append(_U16.pack(len(learning)))
+        for outer_key, counters in learning:
+            parts.append(_pack_str(outer_key))
+            parts.append(_U16.pack(len(counters)))
+            for inner_key, count in counters:
+                parts.append(_pack_str(inner_key))
+                parts.append(_pack_int(count))
+    return b"".join(parts)
+
+
+def _decode_result_body(body: bytes) -> ResultFrame:
+    reader = _Reader(body)
+    fingerprint = _take_fingerprint(reader)
+    (pid,) = reader.unpack(_PID)
+    (n_shards,) = reader.unpack(_U16)
+    outcomes = []
+    for _ in range(n_shards):
+        (shard_id,) = reader.unpack(_U32)
+        (failed,) = reader.take(1)
+        if failed:
+            outcomes.append(ShardOutcome(shard_id=shard_id,
+                                         error=_take_str(reader)))
+            continue
+        (n_records,) = reader.unpack(_U16)
+        records = []
+        for _ in range(n_records):
+            task_id, duration, flags, elided = reader.unpack(_RECORD)
+            records.append(PackedRecord(
+                task_id=task_id, duration=duration,
+                recovered=bool(flags & _F_RECOVERED),
+                timed=bool(flags & _F_TIMED),
+                notified_user=bool(flags & _F_NOTIFIED),
+                handled=bool(flags & _F_HANDLED),
+                elided_events=elided,
+            ))
+        (n_outer,) = reader.unpack(_U16)
+        learning = []
+        for _ in range(n_outer):
+            outer_key = _take_str(reader)
+            (n_inner,) = reader.unpack(_U16)
+            counters = tuple((_take_str(reader), _take_int(reader))
+                             for _ in range(n_inner))
+            learning.append((outer_key, counters))
+        outcomes.append(ShardOutcome(shard_id=shard_id,
+                                     records=tuple(records),
+                                     learning=tuple(learning)))
+    reader.done()
+    return ResultFrame(fingerprint=fingerprint, pid=pid,
+                       shards=tuple(outcomes))
+
+
+def _encode_plan_miss_body(frame: PlanMissFrame) -> bytes:
+    return _pack_fingerprint(frame.fingerprint) + _PID.pack(frame.pid)
+
+
+def _decode_plan_miss_body(body: bytes) -> PlanMissFrame:
+    reader = _Reader(body)
+    fingerprint = _take_fingerprint(reader)
+    (pid,) = reader.unpack(_PID)
+    reader.done()
+    return PlanMissFrame(fingerprint=fingerprint, pid=pid)
+
+
+#: Frame-type registries. PROTO005 pins that every FrameType member is
+#: present in BOTH tables — an encoder without its decoder (or vice
+#: versa) is a one-way wire format.
+_ENCODERS = {
+    FrameType.TASK: _encode_task_body,
+    FrameType.RESULT: _encode_result_body,
+    FrameType.PLAN_MISS: _encode_plan_miss_body,
+}
+_DECODERS = {
+    FrameType.TASK: _decode_task_body,
+    FrameType.RESULT: _decode_result_body,
+    FrameType.PLAN_MISS: _decode_plan_miss_body,
+}
+
+_PAYLOAD_TYPES = {
+    TaskFrame: FrameType.TASK,
+    ResultFrame: FrameType.RESULT,
+    PlanMissFrame: FrameType.PLAN_MISS,
+}
+
+
+# ---------------------------------------------------------------------------
+# Frame-level encode/decode
+# ---------------------------------------------------------------------------
+def encode_frame(payload: TaskFrame | ResultFrame | PlanMissFrame) -> bytes:
+    """Wrap a payload in the versioned frame header."""
+    ftype = _PAYLOAD_TYPES.get(type(payload))
+    if ftype is None:
+        raise FrameError(f"unknown frame payload {type(payload).__name__}")
+    body = _ENCODERS[ftype](payload)
+    return _HEADER.pack(MAGIC, VERSION, int(ftype), len(body)) + body
+
+
+def decode_frame(data: bytes) -> TaskFrame | ResultFrame | PlanMissFrame:
+    """Decode any registered frame; raises :class:`FrameError` on damage."""
+    if len(data) < _HEADER.size:
+        raise FrameError(
+            f"frame shorter than header ({len(data)} < {_HEADER.size})")
+    magic, version, raw_type, body_len = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    try:
+        ftype = FrameType(raw_type)
+    except ValueError:
+        raise FrameError(f"unknown frame type {raw_type}") from None
+    body = data[_HEADER.size:]
+    if len(body) != body_len:
+        raise FrameError(
+            f"frame body length mismatch: header says {body_len}, "
+            f"have {len(body)}")
+    return _DECODERS[ftype](body)
+
+
+# ---------------------------------------------------------------------------
+# Plan blobs (the once-per-worker resident install payload)
+# ---------------------------------------------------------------------------
+def encode_plan_blob(plan: FleetPlan) -> bytes:
+    """Compressed canonical plan JSON — the resident-install payload."""
+    canonical = json.dumps(plan.to_json(), sort_keys=True,
+                           separators=(",", ":"))
+    return zlib.compress(canonical.encode(), level=6)
+
+
+def decode_plan_blob(blob: bytes) -> FleetPlan:
+    """Rebuild the plan; the caller fingerprint-checks the result."""
+    try:
+        data = json.loads(zlib.decompress(blob))
+    except (zlib.error, ValueError) as exc:
+        raise FrameError(f"malformed plan blob: {exc}") from None
+    return FleetPlan(
+        master_seed=data["master_seed"],
+        shards=tuple(Shard.from_json(s) for s in data["shards"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Record packing (worker side) and inflation (pool side)
+# ---------------------------------------------------------------------------
+def pack_record(record: dict) -> PackedRecord:
+    """Strip a task record down to its non-derivable fields."""
+    return PackedRecord(
+        task_id=record["task_id"],
+        duration=record["duration"],
+        recovered=record["recovered"],
+        timed=record["timed"],
+        notified_user=record["notified_user"],
+        handled=record["handled"],
+        elided_events=record["elided_events"],
+    )
+
+
+def pack_learning(learning: dict) -> tuple:
+    """Wire learning counters as sorted tuples (deterministic bytes)."""
+    return tuple(
+        (outer_key, tuple(sorted(counters.items())))
+        for outer_key, counters in sorted(learning.items())
+    )
+
+
+class PlanContext:
+    """Pool-side view of one plan: frame encode + result inflation.
+
+    Holds the task index the inflater needs to restore the derivable
+    record fields, the fingerprint every frame is checked against, and
+    the compressed plan blob shipped to not-yet-resident workers.
+    """
+
+    def __init__(self, plan: FleetPlan) -> None:
+        self.plan = plan
+        self.fingerprint = plan.fingerprint()
+        self.blob = encode_plan_blob(plan)
+        self.shards: dict[int, Shard] = {s.shard_id: s for s in plan.shards}
+        self.tasks: dict[int, TaskSpec] = {
+            t.task_id: t for s in plan.shards for t in s.tasks}
+        # Per-shard wire segments, encoded once: a plan's (task_id,
+        # seed) entries never change, so per-round submission cost is
+        # a lookup + join rather than a re-encode of every task.
+        self._segments: dict[int, bytes] = {
+            s.shard_id: _shard_segment(
+                s.shard_id, tuple((t.task_id, t.seed) for t in s.tasks))
+            for s in plan.shards}
+
+    # -- submissions ---------------------------------------------------
+    def task_frame(self, shard_ids: list[int], with_blob: bool) -> bytes:
+        """Encode one steal batch of shards as a TASK frame.
+
+        Byte-identical to ``encode_frame(TaskFrame(...))`` over the
+        same shards, but assembled from the cached segments.
+        """
+        body = _task_body(self.fingerprint,
+                          [self._segments[sid] for sid in shard_ids],
+                          self.blob if with_blob else None)
+        return _HEADER.pack(MAGIC, VERSION, int(FrameType.TASK),
+                            len(body)) + body
+
+    # -- results -------------------------------------------------------
+    def inflate_record(self, packed: PackedRecord) -> dict:
+        """The exact dict :func:`repro.fleet.worker.run_task` records."""
+        task = self.tasks[packed.task_id]
+        scenario = scenario_by_name(task.scenario)
+        return {
+            "task_id": task.task_id,
+            "scenario": task.scenario,
+            "handling": task.handling,
+            "seed": task.seed,
+            "failure_class": scenario.failure_class.value,
+            "duration": packed.duration,
+            "recovered": packed.recovered,
+            "timed": packed.timed,
+            "notified_user": packed.notified_user,
+            "handled": packed.handled,
+            "elided_events": packed.elided_events,
+        }
+
+    def inflate_shard(self, outcome: ShardOutcome) -> dict:
+        """Rebuild the shard-result dict the legacy dict path returned."""
+        if outcome.error is not None:
+            raise FrameError("cannot inflate an errored shard outcome")
+        learning = {
+            outer_key: dict(counters)
+            for outer_key, counters in (outcome.learning or ())
+        }
+        return {
+            "shard_id": outcome.shard_id,
+            "tasks": [self.inflate_record(r) for r in (outcome.records or ())],
+            "learning": learning,
+        }

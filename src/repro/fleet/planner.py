@@ -231,6 +231,49 @@ def shard_tasks(
     return tuple(shards)
 
 
+def chunk_cohorts(plan: FleetPlan, chunks: int) -> FleetPlan:
+    """Split each cohort shard into up to ``chunks`` sub-cohort shards.
+
+    The cohort parity invariant (PR 7: a cohort of N is byte-identical
+    to N single runs, every member fully isolated under its own task
+    seed) makes any *partition* of a cohort equivalent too: a 512-UE
+    cohort can run as K sub-cohorts on K workers and the per-task
+    records never change. This is the sub-shard escape hatch for the
+    one-cohort-per-shard packing rule — one giant cohort no longer
+    serializes the whole fleet behind a single worker.
+
+    Tasks keep their ids and seeds; only the shard grouping changes
+    (shards are renumbered contiguously in task order). Aggregates are
+    sorted by ``task_id`` downstream, so ``aggregate.json`` is
+    byte-identical at any ``chunks``. The audit-only ``elided_events``
+    counter becomes per-sub-cohort, which never enters the aggregate.
+
+    Non-cohort shards and ``chunks=1`` pass through untouched (the
+    plan object itself is returned, keeping fingerprints stable).
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    if chunks == 1 or all(s.cohort_size <= 1 for s in plan.shards):
+        return plan
+    new_shards: list[Shard] = []
+    for shard in plan.shards:
+        if shard.cohort_size <= 1 or len(shard.tasks) <= 1:
+            pieces = [shard.tasks]
+        else:
+            n = min(chunks, len(shard.tasks))
+            size, extra = divmod(len(shard.tasks), n)
+            pieces, start = [], 0
+            for index in range(n):
+                width = size + (1 if index < extra else 0)
+                pieces.append(shard.tasks[start:start + width])
+                start += width
+        for piece in pieces:
+            cohort_size = shard.cohort_size if len(piece) > 1 else 1
+            new_shards.append(Shard(shard_id=len(new_shards), tasks=piece,
+                                    cohort_size=cohort_size))
+    return FleetPlan(master_seed=plan.master_seed, shards=tuple(new_shards))
+
+
 def plan_matrix(
     scenario_patterns: list[str] | None = None,
     modes: list[HandlingMode] | None = None,
@@ -238,13 +281,15 @@ def plan_matrix(
     master_seed: int = 0,
     shard_size: int = DEFAULT_SHARD_SIZE,
     cohort_size: int = 1,
+    cohort_chunks: int = 1,
 ) -> FleetPlan:
     """Plan a scenario-matrix sweep (the generic CLI path)."""
     scenarios = filter_scenarios(scenario_patterns)
     modes = list(modes) if modes else list(HandlingMode)
     tasks = matrix_tasks(scenarios, modes, replicas, master_seed)
-    return FleetPlan(master_seed=master_seed,
+    plan = FleetPlan(master_seed=master_seed,
                      shards=shard_tasks(tasks, shard_size, cohort_size))
+    return chunk_cohorts(plan, cohort_chunks)
 
 
 def resolve_task_scenario(task: TaskSpec) -> Scenario:
@@ -268,7 +313,10 @@ def plan_from_spec(spec: dict) -> FleetPlan:
 
     ``cohort_size > 1`` (matrix sweeps only) packs one multi-UE cohort
     per shard instead of independent single-UE testbeds; per-task
-    records are byte-identical either way.
+    records are byte-identical either way. ``cohort_chunks > 1`` then
+    splits each cohort shard into that many sub-cohort shards (see
+    :func:`chunk_cohorts`) so one large cohort can feed multiple
+    workers — ``aggregate.json`` stays byte-identical at any chunking.
 
     This is the single spec → plan mapping: ``python -m repro.fleet``,
     ``python -m repro.serve submit``, and the daemon's job queue all
@@ -279,9 +327,14 @@ def plan_from_spec(spec: dict) -> FleetPlan:
     kind = spec.get("kind", "matrix")
     shard_size = int(spec.get("shard_size", DEFAULT_SHARD_SIZE))
     cohort_size = int(spec.get("cohort_size", 1))
+    cohort_chunks = int(spec.get("cohort_chunks", 1))
+    if cohort_chunks < 1:
+        raise ValueError(f"cohort_chunks must be >= 1, got {cohort_chunks}")
     if kind == "suite":
         if cohort_size != 1:
             raise ValueError("cohort_size is only supported for matrix sweeps")
+        if cohort_chunks != 1:
+            raise ValueError("cohort_chunks is only supported for matrix sweeps")
         suite = spec.get("suite")
         runs = int(spec.get("runs", 30))
         seed = int(spec.get("seed", 0))
@@ -311,6 +364,7 @@ def plan_from_spec(spec: dict) -> FleetPlan:
         master_seed=int(spec.get("seed", 0)),
         shard_size=shard_size,
         cohort_size=cohort_size,
+        cohort_chunks=cohort_chunks,
     )
 
 
@@ -347,6 +401,18 @@ def estimated_task_cost(task: TaskSpec) -> float:
 def estimated_shard_cost(shard: Shard) -> float:
     """Summed task-cost heuristic for one shard."""
     return sum(estimated_task_cost(task) for task in shard.tasks)
+
+
+def estimated_plan_cost(plan: FleetPlan) -> float:
+    """Total cost heuristic for a plan — the adaptive-executor input.
+
+    Same units as :func:`estimated_task_cost` (simulated horizon
+    seconds scaled by handling mode), so the pool's inline-vs-pool
+    threshold is a pure function of the spec: every process, at any
+    worker count, resolves ``--executor auto`` the same way for the
+    same plan.
+    """
+    return sum(estimated_shard_cost(shard) for shard in plan.shards)
 
 
 def steal_order(shards: Iterable[Shard]) -> list[int]:

@@ -2,26 +2,49 @@
 
 ``execute_plan`` runs every shard of a :class:`FleetPlan` through a
 shard function (by default :func:`repro.fleet.worker.run_shard`),
-either inline (``workers <= 1``) or on a
-``concurrent.futures.ProcessPoolExecutor``. Execution is organised in
-*rounds*: each round submits all still-pending shards, collects
-outcomes, and re-queues failures until their attempt budget
-(``1 + retries``) is exhausted. A crashed worker process (which breaks
-the executor) therefore costs one attempt for the shards of that round
-and a fresh executor for the next — never the run.
+in-process or on a ``concurrent.futures.ProcessPoolExecutor``.
+Execution is organised in *rounds*: each round submits all
+still-pending shards, collects outcomes, and re-queues failures until
+their attempt budget (``1 + retries``) is exhausted. A crashed worker
+process (which breaks the executor) therefore costs one attempt for
+the shards of that round and a fresh executor for the next — never the
+run. A healthy executor is **never** rebuilt between rounds: only an
+observed ``BrokenProcessPool`` discards it.
 
-Within a round, shards are scheduled by **work stealing**: the round's
-shards are ordered longest-first by the planner's deterministic cost
+Three executor modes (``executor=`` / ``--executor``):
+
+* ``inline`` — run every shard in this process, zero IPC, draining the
+  steal queue in the same LPT order a single pool worker would;
+* ``pool`` — always dispatch through a process pool (a per-sweep
+  throwaway executor, or a shared warm :class:`WorkerPool`);
+* ``auto`` (default) — consult the planner's deterministic cost model
+  (:func:`repro.fleet.planner.estimated_plan_cost`): when the sweep's
+  estimated work cannot amortise pool spin-up + IPC, run inline.
+  Either choice produces byte-identical aggregates (results merge
+  through the same task_id-sorted path), so the decision is free to be
+  machine-local — exactly like the worker count itself.
+
+Within a pool round, shards are scheduled by **work stealing**: the
+round's shards are ordered longest-first by the planner's cost
 heuristic (:func:`repro.fleet.planner.steal_order`), split into
 fine-grained batches of guided-self-scheduling sizes, and all batches
 are submitted up front. The executor's shared call queue *is* the
 steal queue — an idle worker pulls the next batch the moment it drains
-its current one, so a straggler shard never leaves the other workers
-parked the way static per-worker chunking did.
+its current one.
+
+On the default dispatch path each steal batch travels as one **binary
+task frame** (:mod:`repro.fleet.frames`): workers hold a resident,
+fingerprint-checked copy of the plan (installed by the cold executor's
+initializer, or in-band from a compressed blob carried by the first
+few frames — a ``PLAN_MISS`` reply re-sends it, so a late or recycled
+worker can never run the wrong plan), tasks cross the wire as
+``(task_index, seed)`` pairs, and results return as packed structs
+that the pool inflates back into checkpoint-identical record dicts.
+Custom ``shard_fn`` s fall back to the legacy pickled-dict path.
 
 Results are keyed by ``shard_id`` and returned sorted, so downstream
 aggregation sees the same sequence no matter which worker stole which
-batch.
+batch — or whether a pool was involved at all.
 """
 
 from __future__ import annotations
@@ -30,14 +53,21 @@ import logging
 import multiprocessing
 import threading
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterator
 
+from repro.fleet import frames
 from repro.fleet.checkpoint import Checkpoint
-from repro.fleet.planner import FleetPlan, steal_order
-from repro.fleet.worker import run_shard
+from repro.fleet.planner import FleetPlan, estimated_plan_cost, steal_order
+from repro.fleet.worker import preload_plan, run_frame, run_shard
 from repro.testbed import preload
 
 log = logging.getLogger(__name__)
@@ -49,9 +79,40 @@ ShardCallback = Callable[[int, dict], None]
 
 # Guided self-scheduling divisor: each batch takes ceil(remaining /
 # (workers * FACTOR)) shards. 2 front-loads large batches (amortising
-# per-task pickling/IPC) while leaving a tail of single-shard batches
-# that backfill stragglers.
+# per-task dispatch) while leaving a tail of single-shard batches that
+# backfill stragglers.
 _GSS_FACTOR = 2
+
+EXECUTOR_MODES = ("auto", "pool", "inline")
+
+# Adaptive-executor thresholds, in planner cost units (simulated
+# horizon seconds x handling factor). One core pushes roughly 500k
+# units/s through the quiescent testbed, so 250k units is ~0.5s of
+# real work — about what pool spawn + per-batch IPC costs on a small
+# box. A warm pool has already paid its spawn, so its bar is lower.
+# The numbers only steer the executor choice; aggregates are identical
+# either way.
+INLINE_COST_THRESHOLD = 250_000.0
+INLINE_COST_THRESHOLD_WARM = 150_000.0
+
+
+def resolve_executor(
+    mode: str,
+    plan: FleetPlan,
+    workers: int,
+    pool: "WorkerPool | None" = None,
+) -> str:
+    """Resolve ``auto`` into ``inline`` or ``pool`` for one sweep."""
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(
+            f"unknown executor mode {mode!r} (valid: {', '.join(EXECUTOR_MODES)})")
+    if mode != "auto":
+        return mode
+    if workers <= 1 and pool is None:
+        return "inline"
+    warm = pool is not None and pool.is_warm()
+    threshold = INLINE_COST_THRESHOLD_WARM if warm else INLINE_COST_THRESHOLD
+    return "inline" if estimated_plan_cost(plan) < threshold else "pool"
 
 
 class WorkerPool:
@@ -73,10 +134,12 @@ class WorkerPool:
     lifetime instead of once per sweep.
 
     A crashed worker breaks the executor; :meth:`discard` drops it and
-    the next :meth:`executor` call builds a fresh one — preserving the
-    per-round retry semantics of the throwaway executor it replaces.
-    Results are unaffected by warmth: shard outputs are pure functions
-    of their specs.
+    the next :meth:`executor` call builds a fresh one. Discard is only
+    ever driven by an observed ``BrokenProcessPool`` — ordinary shard
+    failures and retry rounds reuse the live executor, so a warm pool
+    really does spawn exactly once per healthy lifetime. Results are
+    unaffected by warmth: shard outputs are pure functions of their
+    specs.
 
     The pool is shared across threads in the serve daemon (the queue's
     executor thread runs sweeps while a handler/main thread may call
@@ -111,6 +174,11 @@ class WorkerPool:
                 )
                 self.executors_spawned += 1
             return self._executor
+
+    def is_warm(self) -> bool:
+        """Whether a live executor (already-spawned workers) exists."""
+        with self._lock:
+            return self._executor is not None
 
     def _take_executor(self) -> ProcessPoolExecutor | None:
         """Atomically detach the current executor (if any)."""
@@ -147,6 +215,7 @@ class PoolOutcome:
     executed: int = 0                                        # shards run this invocation
     skipped: int = 0                                         # shards restored from checkpoint
     stopped: bool = False                                    # cancelled before completion
+    executor_mode: str = "inline"                            # resolved inline|pool
 
     def sorted_results(self) -> list[dict]:
         return [self.results[sid] for sid in sorted(self.results)]
@@ -161,22 +230,45 @@ def execute_plan(
     pool: WorkerPool | None = None,
     on_shard: ShardCallback | None = None,
     stop: Callable[[], bool] | None = None,
+    executor: str = "auto",
+    use_frames: bool | None = None,
 ) -> PoolOutcome:
     """Run all shards, resuming from ``checkpoint`` when given.
 
     ``pool`` swaps the per-round throwaway executor for a shared warm
     :class:`WorkerPool` (its worker count wins over ``workers``).
-    ``on_shard`` fires for every available result — checkpoint-restored
-    shards first, then fresh ones the moment they land — which is what
-    the streaming aggregator folds. ``stop`` is polled between results;
-    once it returns True no further work is scheduled, in-flight
-    batches are cancelled where possible, and the partial outcome is
-    returned with ``stopped=True`` (completed shards are already in the
-    checkpoint, so the run is resumable).
+    ``executor`` picks the dispatch mode (``auto``/``pool``/``inline``
+    — see the module docstring); ``auto`` may bypass a provided pool
+    entirely when the sweep is too small to amortise it. ``use_frames``
+    overrides the binary-frame wire (default: frames whenever the
+    stock ``run_shard`` goes through a process pool; custom shard
+    functions always use the pickled-dict path). ``on_shard`` fires for
+    every available result — checkpoint-restored shards first, then
+    fresh ones the moment they land — which is what the streaming
+    aggregator folds. ``stop`` is polled between results; once it
+    returns True no further work is scheduled, in-flight batches are
+    cancelled where possible, and the partial outcome is returned with
+    ``stopped=True`` (completed shards are already in the checkpoint,
+    so the run is resumable).
     """
     outcome = PoolOutcome()
     if pool is not None:
         workers = pool.workers
+    mode = resolve_executor(executor, plan, workers, pool)
+    outcome.executor_mode = mode
+    inline = mode == "inline"
+    if inline:
+        pool, workers = None, 1
+
+    framed = use_frames
+    if framed is None:
+        framed = shard_fn is run_shard
+    elif framed and shard_fn is not run_shard:
+        raise ValueError("use_frames=True requires the stock run_shard")
+    ctx = None
+    if framed and not inline:
+        ctx = frames.PlanContext(plan)
+
     if checkpoint is not None:
         checkpoint.bind(plan)
         outcome.results.update(checkpoint.completed())
@@ -184,47 +276,58 @@ def execute_plan(
         if on_shard is not None:
             for sid in sorted(outcome.results):
                 on_shard(sid, outcome.results[sid])
+        checkpoint.begin_buffered()
 
     payloads = {s.shard_id: s.to_json() for s in plan.shards}
     pending = {sid: 0 for sid in payloads if sid not in outcome.results}
     max_attempts = 1 + max(0, retries)
     queue_order = steal_order(plan.shards)
 
-    while pending:
-        if stop is not None and stop():
-            outcome.stopped = True
-            break
-        round_ids = [sid for sid in queue_order if sid in pending]
-        round_outcomes = _run_round(
-            shard_fn, payloads, round_ids, workers, pool=pool, stop=stop)
-        for sid, result, error in round_outcomes:
-            pending[sid] += 1
-            attempts = pending[sid]
-            if error is None:
-                outcome.results[sid] = result
-                outcome.attempts[sid] = attempts
-                outcome.executed += 1
-                outcome.failed.pop(sid, None)
-                del pending[sid]
+    try:
+        while pending:
+            if stop is not None and stop():
+                outcome.stopped = True
+                break
+            round_ids = [sid for sid in queue_order if sid in pending]
+            round_batches = _run_round(
+                shard_fn, payloads, round_ids, workers,
+                pool=pool, stop=stop, ctx=ctx, inline=inline)
+            for batch in round_batches:
+                for sid, result, error in batch:
+                    pending[sid] += 1
+                    attempts = pending[sid]
+                    if error is None:
+                        outcome.results[sid] = result
+                        outcome.attempts[sid] = attempts
+                        outcome.executed += 1
+                        outcome.failed.pop(sid, None)
+                        del pending[sid]
+                        if checkpoint is not None:
+                            checkpoint.record_ok(sid, result, attempts)
+                        if on_shard is not None:
+                            on_shard(sid, result)
+                    else:
+                        outcome.failed[sid] = error
+                        outcome.attempts[sid] = attempts
+                        log.warning(
+                            "shard %d failed (attempt %d/%d): %s",
+                            sid, attempts, max_attempts,
+                            error.strip().splitlines()[-1],
+                        )
+                        if checkpoint is not None:
+                            checkpoint.record_failed(sid, error, attempts)
+                        if attempts >= max_attempts:
+                            del pending[sid]
+                            log.error("shard %d dropped after %d attempts",
+                                      sid, attempts)
                 if checkpoint is not None:
-                    checkpoint.record_ok(sid, result, attempts)
-                if on_shard is not None:
-                    on_shard(sid, result)
-            else:
-                outcome.failed[sid] = error
-                outcome.attempts[sid] = attempts
-                log.warning(
-                    "shard %d failed (attempt %d/%d): %s",
-                    sid, attempts, max_attempts, error.strip().splitlines()[-1],
-                )
-                if checkpoint is not None:
-                    checkpoint.record_failed(sid, error, attempts)
-                if attempts >= max_attempts:
-                    del pending[sid]
-                    log.error("shard %d dropped after %d attempts", sid, attempts)
-        if stop is not None and stop() and pending:
-            outcome.stopped = True
-            break
+                    checkpoint.flush()
+            if stop is not None and stop() and pending:
+                outcome.stopped = True
+                break
+    finally:
+        if checkpoint is not None:
+            checkpoint.flush()
     return outcome
 
 
@@ -238,7 +341,7 @@ def _attempt_inline(shard_fn, payload) -> tuple[dict | None, str | None]:
 
 
 def _run_shard_chunk(shard_fn, chunk) -> list[tuple[int, dict | None, str | None]]:
-    """Run a batch of shards inside one worker task.
+    """Run a batch of shards inside one worker task (legacy dict wire).
 
     Module-level (picklable) by fleet-safety contract. Exceptions are
     captured per shard, so one failing shard costs itself an attempt,
@@ -268,26 +371,31 @@ def _batches(round_ids: list[int], workers: int) -> list[list[int]]:
 
 
 def _run_round(
-    shard_fn, payloads, round_ids, workers, pool=None, stop=None
-) -> Iterator[tuple[int, dict | None, str | None]]:
-    """One submission round, yielding each outcome as it resolves.
+    shard_fn, payloads, round_ids, workers,
+    pool=None, stop=None, ctx=None, inline=False,
+) -> Iterator[list[tuple[int, dict | None, str | None]]]:
+    """One submission round, yielding outcomes one steal batch at a time.
 
-    All batches of the round are submitted up front; the executor's
-    shared call queue acts as the steal queue, so each worker pulls the
-    next pending batch the moment it finishes its current one. With
-    ``round_ids`` in LPT order the long shards start first and the
-    short tail backfills whichever worker frees up — completion order
-    varies, results do not. Outcomes are yielded as each batch
-    resolves, so the caller can checkpoint every result the moment it
-    exists — a killed run keeps every shard that finished before the
-    kill, not just completed rounds.
+    The caller checkpoints (and fsyncs) once per yielded batch — a
+    killed run keeps every batch that landed before the kill, not just
+    completed rounds.
+
+    Inline mode drains the steal queue in this process, yielding
+    singleton batches (per-record durability, matching the pre-frame
+    behavior). Pool mode submits all batches of the round up front; the
+    executor's shared call queue acts as the steal queue, so each
+    worker pulls the next pending batch the moment it finishes its
+    current one. With ``round_ids`` in LPT order the long shards start
+    first and the short tail backfills whichever worker frees up —
+    completion order varies, results do not.
 
     Without a warm ``pool`` the executor lives for exactly one round:
     if a worker dies and breaks it, every future of the round resolves
     (some with ``BrokenProcessPool``), the broken executor is
     discarded, and the next round starts clean. With a warm pool the
-    executor is borrowed and survives the round; a broken one is handed
-    back via :meth:`WorkerPool.discard` so the next round rebuilds it.
+    executor is borrowed and survives the round; only an observed
+    ``BrokenProcessPool`` hands it back via :meth:`WorkerPool.discard`
+    for a lazy rebuild — plain shard failures never cost a respawn.
     Either way a broken batch future costs each of its shards one
     attempt — never the run.
 
@@ -295,36 +403,170 @@ def _run_round(
     queued batches are cancelled (a batch already on a worker runs to
     completion and is simply not consumed) and the round ends early.
     """
-    if workers <= 1 and pool is None:
+    if inline:
         for sid in round_ids:
             if stop is not None and stop():
                 return
-            yield (sid, *_attempt_inline(shard_fn, payloads[sid]))
+            yield [(sid, *_attempt_inline(shard_fn, payloads[sid]))]
         return
-    executor = pool.executor() if pool is not None else ProcessPoolExecutor(
-        max_workers=workers)
-    futures = {}
+    own_executor = pool is None
+    if not own_executor:
+        executor = pool.executor()
+    elif ctx is not None:
+        # Cold per-sweep executor: install the plan at worker start
+        # (testbed preload + resident install), so the frame path never
+        # pays a PLAN_MISS round trip on a throwaway pool.
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=partial(preload_plan, ctx.blob, ctx.fingerprint),
+        )
+    else:
+        executor = ProcessPoolExecutor(max_workers=workers)
     try:
-        futures = {
-            executor.submit(
-                _run_shard_chunk, shard_fn, [(sid, payloads[sid]) for sid in ids]
-            ): ids
-            for ids in _batches(round_ids, workers)
-        }
-        for future in as_completed(futures):
-            if stop is not None and stop():
-                for queued in futures:
-                    queued.cancel()
-                return
-            ids = futures[future]
+        if ctx is not None:
+            yield from _frame_round(
+                executor, ctx, round_ids, workers,
+                pool=pool, stop=stop, preinstalled=own_executor)
+        else:
+            yield from _dict_round(
+                executor, shard_fn, payloads, round_ids, workers,
+                pool=pool, stop=stop)
+    finally:
+        if own_executor:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _dict_round(
+    executor, shard_fn, payloads, round_ids, workers, pool=None, stop=None
+) -> Iterator[list[tuple[int, dict | None, str | None]]]:
+    """Legacy pickled-dict dispatch (custom shard functions)."""
+    futures = {
+        executor.submit(
+            _run_shard_chunk, shard_fn, [(sid, payloads[sid]) for sid in ids]
+        ): ids
+        for ids in _batches(round_ids, workers)
+    }
+    for future in as_completed(futures):
+        if stop is not None and stop():
+            for queued in futures:
+                queued.cancel()
+            return
+        ids = futures[future]
+        try:
+            yield list(future.result())
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            if pool is not None and isinstance(exc, BrokenProcessPool):
+                pool.discard()
+            yield [(sid, None, error) for sid in ids]
+
+
+# Per-executor resident-plan bookkeeping (how many fingerprints one
+# executor tracks before evicting the oldest entry).
+_RESIDENT_TABLE_CAP = 8
+
+
+def _resident_state(executor, fingerprint: str) -> dict:
+    """Blob/confirmation bookkeeping for one (executor, plan) pair.
+
+    Lives on the executor object so it dies with it: a rebuilt executor
+    (fresh worker processes) starts unconfirmed and re-ships the blob.
+    Touched only by the single dispatching thread of ``execute_plan``.
+    """
+    table = getattr(executor, "_seed_resident", None)
+    if table is None:
+        table = {}
+        executor._seed_resident = table
+    state = table.get(fingerprint)
+    if state is None:
+        while len(table) >= _RESIDENT_TABLE_CAP:
+            table.pop(next(iter(table)))
+        state = {"confirmed": set(), "blobs_sent": 0}
+        table[fingerprint] = state
+    return state
+
+
+def _frame_round(
+    executor, ctx, round_ids, workers, pool=None, stop=None, preinstalled=False
+) -> Iterator[list[tuple[int, dict | None, str | None]]]:
+    """Binary-frame dispatch: compact task frames out, packed results in.
+
+    The plan blob rides along only until every worker is known to hold
+    the plan: at most the first ``workers`` submissions carry it, and a
+    ``PLAN_MISS`` reply (a worker whose first pull came later, or whose
+    resident cache evicted the plan) triggers one resubmission of the
+    same batch with the blob attached. Confirmations are tracked by
+    worker pid from RESULT frames.
+    """
+    state = _resident_state(executor, ctx.fingerprint)
+    if preinstalled:
+        # The cold executor's initializer installed the plan in every
+        # worker; never spend wire on the blob.
+        state["blobs_sent"] = workers
+
+    def submit(ids: list[int], force_blob: bool = False):
+        with_blob = force_blob or (
+            len(state["confirmed"]) < workers
+            and state["blobs_sent"] < workers)
+        if with_blob:
+            state["blobs_sent"] += 1
+        return executor.submit(run_frame, ctx.task_frame(ids, with_blob))
+
+    pending: dict = {}
+    try:
+        for ids in _batches(round_ids, workers):
+            pending[submit(ids)] = ids
+    except Exception as exc:
+        # Executor refused new work (e.g. already broken): every
+        # unsubmitted shard of the round costs one attempt.
+        error = f"{type(exc).__name__}: {exc}"
+        if pool is not None and isinstance(exc, BrokenProcessPool):
+            pool.discard()
+        submitted = {sid for ids in pending.values() for sid in ids}
+        yield [(sid, None, error) for sid in round_ids if sid not in submitted]
+
+    while pending:
+        done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+        if stop is not None and stop():
+            for queued in pending:
+                queued.cancel()
+            return
+        for future in done:
+            ids = pending.pop(future)
             try:
-                yield from future.result()
+                reply = frames.decode_frame(future.result())
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 if pool is not None and isinstance(exc, BrokenProcessPool):
                     pool.discard()
-                for sid in ids:
-                    yield sid, None, error
-    finally:
-        if pool is None:
-            executor.shutdown(wait=True, cancel_futures=True)
+                yield [(sid, None, error) for sid in ids]
+                continue
+            if isinstance(reply, frames.PlanMissFrame):
+                try:
+                    pending[submit(ids, force_blob=True)] = ids
+                except Exception as exc:
+                    yield [(sid, None, f"{type(exc).__name__}: {exc}")
+                           for sid in ids]
+                continue
+            if (not isinstance(reply, frames.ResultFrame)
+                    or reply.fingerprint != ctx.fingerprint):
+                yield [(sid, None, "FrameError: unexpected reply frame")
+                       for sid in ids]
+                continue
+            state["confirmed"].add(reply.pid)
+            expected = set(ids)
+            batch = []
+            for shard_outcome in reply.shards:
+                if shard_outcome.shard_id not in expected:
+                    continue  # never un-account a shard of another batch
+                expected.discard(shard_outcome.shard_id)
+                if shard_outcome.error is not None:
+                    batch.append((shard_outcome.shard_id, None,
+                                  shard_outcome.error))
+                else:
+                    batch.append((shard_outcome.shard_id,
+                                  ctx.inflate_shard(shard_outcome), None))
+            for sid in sorted(expected):
+                batch.append((sid, None,
+                              "FrameError: shard missing from result frame"))
+            yield batch

@@ -50,6 +50,11 @@ class FleetRunner:
         Cancellation poll; once it returns True the run winds down and
         the report carries ``cancelled=True`` (the checkpoint keeps
         every completed shard, so the run is resumable).
+    executor:
+        Dispatch mode — ``auto`` (default: the planner cost model
+        decides whether the sweep amortises a process pool, else runs
+        inline), ``pool``, or ``inline``. Never affects results, only
+        where the shards execute.
     """
 
     def __init__(
@@ -62,6 +67,7 @@ class FleetRunner:
         pool: WorkerPool | None = None,
         on_shard: ShardCallback | None = None,
         stop: Callable[[], bool] | None = None,
+        executor: str = "auto",
     ) -> None:
         self.plan = plan
         self.workers = pool.workers if pool is not None else workers
@@ -71,6 +77,7 @@ class FleetRunner:
         self.pool = pool
         self.on_shard = on_shard
         self.stop = stop
+        self.executor = executor
 
     def run(self) -> FleetReport:
         started = time.perf_counter()
@@ -83,6 +90,7 @@ class FleetRunner:
             pool=self.pool,
             on_shard=self.on_shard,
             stop=self.stop,
+            executor=self.executor,
         )
         wall = time.perf_counter() - started
 

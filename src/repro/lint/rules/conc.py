@@ -46,7 +46,7 @@ from repro.lint.engine import Module
 from repro.lint.finding import Finding
 from repro.lint.registry import rule
 
-CONC_SCOPE = ("serve", "fleet/pool.py")
+CONC_SCOPE = ("serve", "fleet/pool.py", "fleet/checkpoint.py")
 
 _GUARD_CTORS = {"Lock", "RLock", "Condition"}
 _GUARDISH_TOKENS = ("lock", "cond", "mutex")

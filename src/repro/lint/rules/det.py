@@ -29,6 +29,10 @@ from repro.lint.registry import rule
 DET_SCOPE = ("simkernel", "core", "fleet", "nas", "serve", "testbed",
              "infra")
 DET_RNG_SCOPE = DET_SCOPE + ("traces",)
+#: Iteration/dump-order discipline: the fleet prefix deliberately
+#: covers the wire codec (``fleet/frames.py``) — frame bytes are part
+#: of the dispatch path, so any unsorted dict walk there would leak
+#: hash order onto the wire.
 DET_ORDER_SCOPE = ("core", "fleet", "serve", "analysis/incremental.py")
 #: Memoization rules also cover the crypto kernels (PR 4 hot paths).
 DET_CACHE_SCOPE = DET_SCOPE + ("crypto",)

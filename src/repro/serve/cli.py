@@ -51,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm pool size; 1 runs shards inline (default: 1)")
     start.add_argument("--retries", type=int, default=2,
                        help="extra attempts per failed shard (default: 2)")
+    start.add_argument("--executor", choices=("auto", "pool", "inline"),
+                       default="auto",
+                       help="dispatch mode for served sweeps: auto lets the "
+                            "planner cost model pick inline vs the warm pool "
+                            "per job (default: auto)")
 
     submit = sub.add_parser(
         "submit", help="submit a sweep (fleet CLI flags)")
@@ -72,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="UEs per simulator instance; >1 packs one "
                              "multi-UE cohort per shard (matrix sweeps "
                              "only; default: 1)")
+    submit.add_argument("--cohort-chunks", type=int, default=1,
+                        help="split each cohort shard across this many "
+                             "sub-shards so several workers share one "
+                             "cohort's UEs (matrix sweeps; default: 1)")
     submit.add_argument("--wait", action="store_true",
                         help="watch the job and exit with its outcome")
 
@@ -91,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_start(args: argparse.Namespace) -> int:
     daemon = ServeDaemon(args.root, workers=args.workers, host=args.host,
-                         port=args.port, retries=args.retries)
+                         port=args.port, retries=args.retries,
+                         executor=args.executor)
     print(f"serve: listening on {daemon.url} "
           f"(workers {args.workers}, root {args.root})")
     try:

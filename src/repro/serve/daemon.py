@@ -54,13 +54,16 @@ class ServeDaemon:
         port: int = DEFAULT_PORT,
         retries: int = 2,
         warm: bool = True,
+        executor: str = "auto",
     ) -> None:
         self.root = Path(root)
         self.pool = WorkerPool(workers) if warm and workers > 1 else None
         self.workers = workers
+        self.executor = executor
         self.registry = RunRegistry(self.root / "registry")
         self.queue = JobQueue(self.pool, self.registry,
-                              self.root / "jobs", retries=retries)
+                              self.root / "jobs", retries=retries,
+                              executor=executor)
         self._server = ThreadingHTTPServer((host, port), _make_handler(self))
         self._server.daemon_threads = True
 
@@ -109,6 +112,7 @@ class ServeDaemon:
         return {
             "status": "ok",
             "workers": self.workers,
+            "executor": self.executor,
             "warm_pool": self.pool is not None,
             "executors_spawned": (
                 self.pool.executors_spawned if self.pool is not None else 0),

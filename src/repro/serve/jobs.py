@@ -228,12 +228,14 @@ class JobQueue:
         runs_root: str | Path,
         shard_fn: Callable[[dict], dict] = run_shard,
         retries: int = 2,
+        executor: str = "auto",
     ) -> None:
         self.pool = pool
         self.registry = registry
         self.runs_root = Path(runs_root)
         self.shard_fn = shard_fn
         self.retries = retries
+        self.executor = executor
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._pending: queue.Queue[Job | None] = queue.Queue()
@@ -322,6 +324,7 @@ class JobQueue:
                 pool=self.pool,
                 on_shard=job.note_shard,
                 stop=lambda: job.cancel_requested,
+                executor=self.executor,
             )
         except CheckpointMismatch as exc:
             job.mark(JobState.FAILED, str(exc))

@@ -1,0 +1,34 @@
+"""Fixture: frame registries out of lockstep with FrameType."""
+
+
+class FrameType:
+    TASK = 1
+    RESULT = 2
+    PLAN_MISS = 3
+
+
+def _encode_task_body(frame):
+    return b""
+
+
+def _encode_result_body(frame):
+    return b""
+
+
+def _decode_task_body(body):
+    return None
+
+
+def _decode_plan_miss_body(body):
+    return None
+
+
+# PLAN_MISS has no encoder; RESULT has no decoder: one-way wire both ways.
+_ENCODERS = {
+    FrameType.TASK: _encode_task_body,
+    FrameType.RESULT: _encode_result_body,
+}
+_DECODERS = {
+    FrameType.TASK: _decode_task_body,
+    FrameType.PLAN_MISS: _decode_plan_miss_body,
+}

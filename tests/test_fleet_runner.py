@@ -116,11 +116,13 @@ class TestWarmPool:
         plan = fast_plan()
         FleetRunner(plan, workers=1, out_dir=str(tmp_path / "cold")).run()
         with WorkerPool(2) as pool:
-            runner = FleetRunner(plan, pool=pool,
+            # executor="pool" pins the warm-pool path: auto would run a
+            # plan this small inline and never touch the executor.
+            runner = FleetRunner(plan, pool=pool, executor="pool",
                                  out_dir=str(tmp_path / "warm1"))
             assert runner.workers == 2  # pool size wins over the default
             first = runner.run()
-            second = FleetRunner(plan, pool=pool,
+            second = FleetRunner(plan, pool=pool, executor="pool",
                                  out_dir=str(tmp_path / "warm2")).run()
             assert pool.executors_spawned == 1
         blobs = {(tmp_path / name / "aggregate.json").read_bytes()

@@ -7,10 +7,11 @@ at one worker and at four.
 """
 
 import json
+import os
 import threading
 
 from repro.analysis.incremental import AggregateState
-from repro.fleet import FleetRunner, WorkerPool, canonical_json
+from repro.fleet import FleetRunner, WorkerPool, canonical_json, execute_plan
 from repro.fleet.aggregate import aggregate_records
 from repro.fleet.checkpoint import Checkpoint
 from repro.fleet.planner import plan_from_spec
@@ -42,10 +43,10 @@ def wait_terminal(job, timeout=180.0):
     raise AssertionError(f"job stuck in {job.state} after {timeout}s")
 
 
-def serve_once(tmp_path, pool, spec=SPEC, shard_fn=run_shard):
+def serve_once(tmp_path, pool, spec=SPEC, shard_fn=run_shard, executor="auto"):
     """Run one sweep through a JobQueue; returns (job, queue)."""
     queue = JobQueue(pool, RunRegistry(tmp_path / "registry"),
-                     tmp_path / "jobs", shard_fn=shard_fn)
+                     tmp_path / "jobs", shard_fn=shard_fn, executor=executor)
     queue.start()
     try:
         job = wait_terminal(queue.submit(spec))
@@ -65,8 +66,10 @@ class TestServedParity:
         assert served == canonical_json(job.stream.result()).encode()
 
     def test_byte_identical_four_workers_warm(self, tmp_path):
+        # executor="pool" pins the warm-pool path: auto would run a
+        # spec this small inline and never touch the executor.
         with WorkerPool(4) as pool:
-            job = serve_once(tmp_path, pool=pool)
+            job = serve_once(tmp_path, pool=pool, executor="pool")
             assert job.state is JobState.DONE, job.error
             assert pool.executors_spawned == 1
         served = (tmp_path / "registry" / job.fingerprint
@@ -277,6 +280,45 @@ class TestPoolDiscard:
         assert pool._executor is None
         assert pool.executors_spawned == 0
         pool.shutdown()
+
+
+def _fail_dp_shards(payload):
+    """Shard fn whose dp_* shards always fail (plain task failure)."""
+    if any(task["scenario"].startswith("dp_") for task in payload["tasks"]):
+        raise RuntimeError("synthetic shard failure")
+    return run_shard(payload)
+
+
+def _crash_worker(payload):
+    """Shard fn that kills its worker process (breaks the executor)."""
+    os._exit(1)
+
+
+class TestPoolRebuild:
+    """Warm-pool respawn discipline: plain shard failures retry on the
+    same executor; only an observed BrokenProcessPool rebuilds it."""
+
+    def test_plain_failures_never_respawn(self):
+        plan = plan_from_spec(SPEC)
+        with WorkerPool(2) as pool:
+            outcome = execute_plan(plan, retries=2, shard_fn=_fail_dp_shards,
+                                   pool=pool, executor="pool")
+            # every retry round reused the one live executor
+            assert pool.executors_spawned == 1
+        assert outcome.failed  # dp shards exhausted their attempts
+        assert outcome.results  # cp shards still completed
+        assert all(attempts == 3 for sid, attempts in outcome.attempts.items()
+                   if sid in outcome.failed)
+
+    def test_broken_pool_rebuilds_once_per_round(self):
+        plan = plan_from_spec(SPEC)
+        with WorkerPool(1) as pool:
+            outcome = execute_plan(plan, retries=1, shard_fn=_crash_worker,
+                                   pool=pool, executor="pool")
+            # one executor per round (initial + retry), not per failure
+            assert pool.executors_spawned == 2
+        assert not outcome.results
+        assert set(outcome.failed) == {s.shard_id for s in plan.shards}
 
 
 class TestRegistryDiff:
