@@ -24,8 +24,15 @@ from repro.fleet.planner import (
     plan_from_spec,
     plan_matrix,
     repeat_tasks,
+    residual_plan,
     shard_tasks,
     suite_tasks,
+)
+from repro.fleet.resultcache import (
+    ResultCache,
+    code_fingerprint,
+    resolve_cache,
+    task_key,
 )
 from repro.fleet.pool import (
     EXECUTOR_MODES,
@@ -46,12 +53,14 @@ __all__ = [
     "FleetReport",
     "FleetRunner",
     "PoolOutcome",
+    "ResultCache",
     "Shard",
     "TaskSpec",
     "WorkerPool",
     "aggregate_records",
     "canonical_json",
     "chunk_cohorts",
+    "code_fingerprint",
     "estimated_plan_cost",
     "execute_plan",
     "filter_scenarios",
@@ -60,9 +69,12 @@ __all__ = [
     "plan_from_spec",
     "plan_matrix",
     "repeat_tasks",
+    "residual_plan",
+    "resolve_cache",
     "resolve_executor",
     "run_shard",
     "run_task",
     "shard_tasks",
     "suite_tasks",
+    "task_key",
 ]

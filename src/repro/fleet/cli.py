@@ -23,6 +23,7 @@ import sys
 from repro.analysis.tables import format_table
 from repro.fleet.checkpoint import CheckpointMismatch
 from repro.fleet.planner import FleetPlan, plan_from_spec
+from repro.fleet.resultcache import resolve_cache
 from repro.fleet.runner import FleetRunner
 from repro.testbed.harness import HandlingMode
 
@@ -66,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", metavar="DIR",
                         help="run directory (manifest, shard checkpoint, "
                              "aggregate); completed shards are skipped on re-run")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="content-addressed result cache: serve "
+                             "previously computed tasks instead of "
+                             "re-simulating them (default: on; env "
+                             "REPRO_RESULT_CACHE=off disables)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="result-cache directory (default: "
+                             ".repro-cache/results, or the "
+                             "REPRO_RESULT_CACHE path)")
     return parser
 
 
@@ -142,8 +153,10 @@ def main(argv: list[str] | None = None) -> int:
           f"(seed {plan.master_seed}, fingerprint {plan.fingerprint()}, "
           f"workers {args.workers})")
 
+    cache = resolve_cache(args.cache, args.cache_dir)
     runner = FleetRunner(plan, workers=args.workers, retries=args.retries,
-                         out_dir=args.out, executor=args.executor)
+                         out_dir=args.out, executor=args.executor,
+                         cache=cache)
     try:
         report = runner.run()
     except CheckpointMismatch as exc:
@@ -158,6 +171,9 @@ def main(argv: list[str] | None = None) -> int:
           f"({report.scenarios_per_sec:.1f} scenarios/sec; "
           f"{report.elided_events} events elided; "
           f"{report.total_retries} shard retries)")
+    if cache is not None:
+        print(f"fleet: cache {report.cache_hits} hits, "
+              f"{report.cache_misses} misses ({cache.root})")
     if report.shard_retries:
         detail = ", ".join(f"shard {sid}: {extra}"
                            for sid, extra in report.shard_retries.items())

@@ -44,6 +44,11 @@ class FleetReport:
     # True when a stop/cancel request ended the run before completion;
     # the checkpoint keeps every finished shard, so it is resumable.
     cancelled: bool = False
+    # Result-cache partition counters (tasks served from / missing in
+    # the content-addressed cache). Telemetry like elided_events: they
+    # never enter the deterministic aggregate or any fingerprint.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def complete(self) -> bool:

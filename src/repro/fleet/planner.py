@@ -274,6 +274,40 @@ def chunk_cohorts(plan: FleetPlan, chunks: int) -> FleetPlan:
     return FleetPlan(master_seed=plan.master_seed, shards=tuple(new_shards))
 
 
+def residual_plan(plan: FleetPlan, done_task_ids: set[int]) -> FleetPlan:
+    """The sub-plan of tasks not already satisfied elsewhere.
+
+    The result-cache partition: tasks whose records are already in hand
+    (``done_task_ids``) drop out, shards left empty disappear, and a
+    cohort shard with K satisfied members legally shrinks to a cohort
+    of N−K — the PR 7 parity invariant (every member fully isolated
+    under its own task seed) makes any partition of a cohort
+    record-equivalent, exactly as :func:`chunk_cohorts` exploits. A
+    single leftover member degrades to ``cohort_size=1`` like a
+    chunked singleton piece.
+
+    Shard ids and task ids/seeds are preserved, so residual results
+    merge straight back into the original plan's result and checkpoint
+    keyspace. With nothing satisfied the plan object itself is
+    returned (fingerprint-stable fast path).
+    """
+    if not done_task_ids:
+        return plan
+    shards: list[Shard] = []
+    for shard in plan.shards:
+        kept = tuple(t for t in shard.tasks
+                     if t.task_id not in done_task_ids)
+        if not kept:
+            continue
+        if len(kept) == len(shard.tasks):
+            shards.append(shard)
+            continue
+        cohort_size = shard.cohort_size if len(kept) > 1 else 1
+        shards.append(Shard(shard_id=shard.shard_id, tasks=kept,
+                            cohort_size=cohort_size))
+    return FleetPlan(master_seed=plan.master_seed, shards=tuple(shards))
+
+
 def plan_matrix(
     scenario_patterns: list[str] | None = None,
     modes: list[HandlingMode] | None = None,

@@ -64,10 +64,22 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Iterator
 
+from repro.core.online_learning import merge_records
 from repro.fleet import frames
 from repro.fleet.checkpoint import Checkpoint
-from repro.fleet.planner import FleetPlan, estimated_plan_cost, steal_order
-from repro.fleet.worker import preload_plan, run_frame, run_shard
+from repro.fleet.planner import (
+    FleetPlan,
+    estimated_plan_cost,
+    residual_plan,
+    steal_order,
+)
+from repro.fleet.resultcache import ResultCache
+from repro.fleet.worker import (
+    configure_cache,
+    preload_plan,
+    run_frame,
+    run_shard,
+)
 from repro.testbed import preload
 
 log = logging.getLogger(__name__)
@@ -115,6 +127,17 @@ def resolve_executor(
     return "inline" if estimated_plan_cost(plan) < threshold else "pool"
 
 
+def _warm_worker_init(initializer, cache) -> None:
+    """Warm-pool worker start: user initializer + cache write-back.
+
+    Module-level (picklable) by fleet-safety contract.
+    """
+    if initializer is not None:
+        initializer()
+    if cache is not None:
+        configure_cache(cache)
+
+
 class WorkerPool:
     """A reusable ("warm") process pool shared across sweeps.
 
@@ -152,11 +175,16 @@ class WorkerPool:
         self,
         workers: int,
         initializer: Callable[[], None] | None = preload,
+        cache: ResultCache | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.initializer = initializer
+        #: Result-cache write-back target installed in every worker at
+        #: spawn (the serve daemon's shared cache). Lookups stay on the
+        #: dispatching side; workers only store.
+        self.cache = cache
         self._lock = threading.Lock()
         self._executor: ProcessPoolExecutor | None = None
         #: Executors built over this pool's lifetime (spin-up telemetry:
@@ -170,7 +198,8 @@ class WorkerPool:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=multiprocessing.get_context("spawn"),
-                    initializer=self.initializer,
+                    initializer=partial(_warm_worker_init,
+                                        self.initializer, self.cache),
                 )
                 self.executors_spawned += 1
             return self._executor
@@ -216,6 +245,10 @@ class PoolOutcome:
     skipped: int = 0                                         # shards restored from checkpoint
     stopped: bool = False                                    # cancelled before completion
     executor_mode: str = "inline"                            # resolved inline|pool
+    # Result-cache partition counters (task-level). Telemetry like
+    # elided_events: never enters aggregates or fingerprints.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def sorted_results(self) -> list[dict]:
         return [self.results[sid] for sid in sorted(self.results)]
@@ -232,6 +265,8 @@ def execute_plan(
     stop: Callable[[], bool] | None = None,
     executor: str = "auto",
     use_frames: bool | None = None,
+    cache: ResultCache | None = None,
+    on_cache: Callable[[int, int], None] | None = None,
 ) -> PoolOutcome:
     """Run all shards, resuming from ``checkpoint`` when given.
 
@@ -250,24 +285,30 @@ def execute_plan(
     cancelled where possible, and the partial outcome is returned with
     ``stopped=True`` (completed shards are already in the checkpoint,
     so the run is resumable).
+
+    ``cache`` arms the content-addressed result cache
+    (:mod:`repro.fleet.resultcache`): pending tasks are looked up
+    before any dispatch, fully cached shards complete without running,
+    partially cached cohort shards legally shrink to their residual
+    members, and every freshly computed task is written back from the
+    worker that ran it. The residual plan — not the submitted one —
+    drives the executor choice, so a warm resubmit resolves inline no
+    matter how large the original sweep was. Custom ``shard_fn`` s are
+    not ``run_task``-pure, so the cache is ignored for them.
+    ``on_cache(hits, misses)`` fires once, right after the partition
+    (the serve job-status hook).
     """
     outcome = PoolOutcome()
     if pool is not None:
         workers = pool.workers
-    mode = resolve_executor(executor, plan, workers, pool)
-    outcome.executor_mode = mode
-    inline = mode == "inline"
-    if inline:
-        pool, workers = None, 1
 
     framed = use_frames
     if framed is None:
         framed = shard_fn is run_shard
     elif framed and shard_fn is not run_shard:
         raise ValueError("use_frames=True requires the stock run_shard")
-    ctx = None
-    if framed and not inline:
-        ctx = frames.PlanContext(plan)
+    if cache is not None and shard_fn is not run_shard:
+        cache = None
 
     if checkpoint is not None:
         checkpoint.bind(plan)
@@ -278,11 +319,32 @@ def execute_plan(
                 on_shard(sid, outcome.results[sid])
         checkpoint.begin_buffered()
 
-    payloads = {s.shard_id: s.to_json() for s in plan.shards}
+    run_plan, cache_extras = _partition_cached(
+        plan, cache, outcome, checkpoint, on_shard)
+    if on_cache is not None and cache is not None:
+        on_cache(outcome.cache_hits, outcome.cache_misses)
+
+    # The residual plan prices the executor decision: a mostly warm
+    # resubmit has little work left, so auto resolves it inline even
+    # when the submitted sweep would have amortised a pool.
+    mode = resolve_executor(executor, run_plan, workers, pool)
+    outcome.executor_mode = mode
+    inline = mode == "inline"
+    if inline:
+        pool, workers = None, 1
+
+    ctx = None
+    if framed and not inline:
+        ctx = frames.PlanContext(run_plan)
+
+    payloads = {s.shard_id: s.to_json() for s in run_plan.shards}
     pending = {sid: 0 for sid in payloads if sid not in outcome.results}
     max_attempts = 1 + max(0, retries)
-    queue_order = steal_order(plan.shards)
+    queue_order = steal_order(run_plan.shards)
 
+    inline_cache = cache if inline and cache is not None and pending else None
+    previous_cache = (configure_cache(inline_cache)
+                      if inline_cache is not None else None)
     try:
         while pending:
             if stop is not None and stop():
@@ -291,12 +353,14 @@ def execute_plan(
             round_ids = [sid for sid in queue_order if sid in pending]
             round_batches = _run_round(
                 shard_fn, payloads, round_ids, workers,
-                pool=pool, stop=stop, ctx=ctx, inline=inline)
+                pool=pool, stop=stop, ctx=ctx, inline=inline, cache=cache)
             for batch in round_batches:
                 for sid, result, error in batch:
                     pending[sid] += 1
                     attempts = pending[sid]
                     if error is None:
+                        result = _merge_cached(
+                            result, cache_extras.pop(sid, None))
                         outcome.results[sid] = result
                         outcome.attempts[sid] = attempts
                         outcome.executed += 1
@@ -326,9 +390,95 @@ def execute_plan(
                 outcome.stopped = True
                 break
     finally:
+        if inline_cache is not None:
+            configure_cache(previous_cache)
         if checkpoint is not None:
             checkpoint.flush()
     return outcome
+
+
+def _partition_cached(
+    plan: FleetPlan,
+    cache: ResultCache | None,
+    outcome: PoolOutcome,
+    checkpoint: Checkpoint | None,
+    on_shard: ShardCallback | None,
+) -> tuple[FleetPlan, dict[int, list[tuple[dict, dict]]]]:
+    """Serve cache hits before dispatch; returns (residual plan, extras).
+
+    Every pending task (checkpoint-restored shards are never probed) is
+    looked up in the cache. Fully cached shards are completed on the
+    spot — result synthesized from the stored records, checkpointed,
+    streamed through ``on_shard`` — and dropped from the residual plan.
+    Partially cached shards shrink (:func:`residual_plan`); their
+    cached members are returned as ``extras`` keyed by shard id, to be
+    folded back in when the residual result lands.
+    """
+    if cache is None:
+        return plan, {}
+    hits: dict[int, tuple[dict, dict]] = {}
+    probed = 0
+    for shard in plan.shards:
+        if shard.shard_id in outcome.results:
+            continue
+        for task in shard.tasks:
+            probed += 1
+            entry = cache.lookup(task)
+            if entry is not None:
+                hits[task.task_id] = entry
+    outcome.cache_hits = len(hits)
+    outcome.cache_misses = probed - len(hits)
+    if not hits:
+        return plan, {}
+    run_plan = residual_plan(plan, set(hits))
+    residual_ids = {shard.shard_id for shard in run_plan.shards}
+    cache_extras: dict[int, list[tuple[dict, dict]]] = {}
+    for shard in plan.shards:
+        if shard.shard_id in outcome.results:
+            continue
+        shard_hits = [hits[task.task_id] for task in shard.tasks
+                      if task.task_id in hits]
+        if not shard_hits:
+            continue
+        if shard.shard_id in residual_ids:
+            cache_extras[shard.shard_id] = shard_hits
+            continue
+        result = _merge_cached(
+            {"shard_id": shard.shard_id, "tasks": [], "learning": {}},
+            shard_hits)
+        outcome.results[shard.shard_id] = result
+        if checkpoint is not None:
+            checkpoint.record_ok(shard.shard_id, result, 0)
+        if on_shard is not None:
+            on_shard(shard.shard_id, result)
+    if checkpoint is not None:
+        checkpoint.flush()
+    return run_plan, cache_extras
+
+
+def _merge_cached(
+    result: dict,
+    extras: list[tuple[dict, dict]] | None,
+) -> dict:
+    """Fold cached (record, learning) pairs into a shard result.
+
+    Records re-sort by ``task_id`` (the shard packing order) and the
+    learning wire forms merge through the same commutative count fold
+    the worker uses, so the merged result carries exactly the values an
+    uncached run of the full shard would have produced — aggregates
+    built from it are byte-identical by construction.
+    """
+    if not extras:
+        return result
+    records = sorted(
+        list(result["tasks"]) + [record for record, _ in extras],
+        key=lambda record: record["task_id"])
+    learning: dict[str, dict[str, int]] = {}
+    merge_records(learning, result.get("learning", {}))
+    for _, wire in extras:
+        merge_records(learning, wire)
+    return {"shard_id": result["shard_id"], "tasks": records,
+            "learning": learning}
 
 
 def _attempt_inline(shard_fn, payload) -> tuple[dict | None, str | None]:
@@ -372,7 +522,7 @@ def _batches(round_ids: list[int], workers: int) -> list[list[int]]:
 
 def _run_round(
     shard_fn, payloads, round_ids, workers,
-    pool=None, stop=None, ctx=None, inline=False,
+    pool=None, stop=None, ctx=None, inline=False, cache=None,
 ) -> Iterator[list[tuple[int, dict | None, str | None]]]:
     """One submission round, yielding outcomes one steal batch at a time.
 
@@ -414,14 +564,19 @@ def _run_round(
         executor = pool.executor()
     elif ctx is not None:
         # Cold per-sweep executor: install the plan at worker start
-        # (testbed preload + resident install), so the frame path never
-        # pays a PLAN_MISS round trip on a throwaway pool.
+        # (testbed preload + resident install, plus the result-cache
+        # write-back when armed), so the frame path never pays a
+        # PLAN_MISS round trip on a throwaway pool.
         executor = ProcessPoolExecutor(
             max_workers=workers,
-            initializer=partial(preload_plan, ctx.blob, ctx.fingerprint),
+            initializer=partial(preload_plan, ctx.blob, ctx.fingerprint,
+                                cache),
         )
     else:
-        executor = ProcessPoolExecutor(max_workers=workers)
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=(partial(configure_cache, cache)
+                         if cache is not None else None))
     try:
         if ctx is not None:
             yield from _frame_round(

@@ -16,6 +16,7 @@ from repro.fleet.checkpoint import Checkpoint
 from repro.fleet.metrics import FleetReport
 from repro.fleet.planner import FleetPlan
 from repro.fleet.pool import ShardCallback, WorkerPool, execute_plan
+from repro.fleet.resultcache import ResultCache
 from repro.fleet.worker import run_shard
 
 
@@ -55,6 +56,12 @@ class FleetRunner:
         decides whether the sweep amortises a process pool, else runs
         inline), ``pool``, or ``inline``. Never affects results, only
         where the shards execute.
+    cache:
+        A content-addressed :class:`~repro.fleet.resultcache.
+        ResultCache`: previously computed tasks are served from it
+        instead of re-simulated, fresh ones are written back, and the
+        cache is pruned to its size bound after the run. Never affects
+        result bytes — only how many tasks actually execute.
     """
 
     def __init__(
@@ -68,6 +75,7 @@ class FleetRunner:
         on_shard: ShardCallback | None = None,
         stop: Callable[[], bool] | None = None,
         executor: str = "auto",
+        cache: ResultCache | None = None,
     ) -> None:
         self.plan = plan
         self.workers = pool.workers if pool is not None else workers
@@ -78,6 +86,7 @@ class FleetRunner:
         self.on_shard = on_shard
         self.stop = stop
         self.executor = executor
+        self.cache = cache
 
     def run(self) -> FleetReport:
         started = time.perf_counter()
@@ -91,7 +100,10 @@ class FleetRunner:
             on_shard=self.on_shard,
             stop=self.stop,
             executor=self.executor,
+            cache=self.cache,
         )
+        if self.cache is not None:
+            self.cache.prune()
         wall = time.perf_counter() - started
 
         shard_results = outcome.sorted_results()
@@ -112,4 +124,6 @@ class FleetRunner:
             elided_events=sum(r.get("elided_events", 0) for r in records),
             shard_attempts=dict(outcome.attempts),
             cancelled=outcome.stopped,
+            cache_hits=outcome.cache_hits,
+            cache_misses=outcome.cache_misses,
         )

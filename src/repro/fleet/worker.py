@@ -22,8 +22,24 @@ from repro.core.online_learning import merge_records
 from repro.device.android import AndroidTimers
 from repro.fleet import frames
 from repro.fleet.planner import FleetPlan, Shard, TaskSpec
+from repro.fleet.resultcache import ResultCache
 from repro.testbed.harness import Cohort, CohortMember, HandlingMode, run_one
 from repro.testbed.scenarios import scenario_by_name
+
+#: Process-wide write-back target for the result cache (PR 10). Set by
+#: executor initializers (cold pools), the warm-pool wrapper, or the
+#: inline executor around its drain loop. Workers only ever *store*
+#: through it — lookups happen pool-side, before dispatch — so a dead
+#: or read-only cache can never fail a shard.
+_CACHE: ResultCache | None = None
+
+
+def configure_cache(cache: ResultCache | None) -> ResultCache | None:
+    """Install the write-back cache for this process; returns the old one."""
+    global _CACHE
+    previous = _CACHE
+    _CACHE = cache
+    return previous
 
 
 def _timers_from_spec(spec: dict | None) -> AndroidTimers | None:
@@ -46,7 +62,10 @@ def run_task(task: TaskSpec) -> tuple[dict, dict]:
         horizon=task.horizon,
     )
     record = _task_record(task, result, result.meta.get("elided_events", 0))
-    return record, testbed.learning_records()
+    learning = testbed.learning_records()
+    if _CACHE is not None:
+        _CACHE.store(task, record, learning)
+    return record, learning
 
 
 def _task_record(task: TaskSpec, result, elided_events: int) -> dict:
@@ -94,8 +113,17 @@ def run_cohort_tasks(tasks: tuple[TaskSpec, ...]) -> tuple[list[dict], dict]:
     records = []
     learning: dict[str, dict[str, int]] = {}
     for task, result, slot in zip(tasks, outcome.results, cohort.slots):
-        records.append(_task_record(task, result, outcome.elided_events))
-        merge_records(learning, cohort.learning_records_for(slot))
+        record = _task_record(task, result, outcome.elided_events)
+        records.append(record)
+        wire = cohort.learning_records_for(slot)
+        if _CACHE is not None:
+            # Per-member write-back: the record and wire learning are
+            # byte-identical to the single-testbed path (PR 7 parity),
+            # so a cohort-produced entry satisfies any future sweep
+            # regardless of its packing. elided_events is cohort-wide
+            # audit data and never enters the aggregate.
+            _CACHE.store(task, record, wire)
+        merge_records(learning, wire)
     return records, learning
 
 
@@ -157,18 +185,22 @@ def install_plan(blob: bytes, fingerprint: str) -> tuple[FleetPlan, _ShardIndex]
     return entry
 
 
-def preload_plan(blob: bytes, fingerprint: str) -> None:
+def preload_plan(blob: bytes, fingerprint: str,
+                 cache: ResultCache | None = None) -> None:
     """Cold-executor initializer: testbed preload + resident install.
 
     The per-sweep executor built by ``execute_plan`` passes this as its
     initializer, so throwaway pools start with the plan resident and
     never pay a PLAN_MISS round trip. Warm pools (which outlive any one
-    plan) install in-band instead.
+    plan) install in-band instead. ``cache`` additionally arms the
+    result-cache write-back for the worker's lifetime.
     """
     from repro.testbed import preload
 
     preload()
     install_plan(blob, fingerprint)
+    if cache is not None:
+        configure_cache(cache)
 
 
 def _shard_outcome(shard_index: _ShardIndex, fingerprint: str,

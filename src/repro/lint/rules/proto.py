@@ -30,6 +30,7 @@ CODEC_PATH = "nas/codec.py"
 RESET_PATH = "core/reset.py"
 DECISION_PATH = "core/decision.py"
 FRAMES_PATH = "fleet/frames.py"
+RESULTCACHE_PATH = "fleet/resultcache.py"
 
 #: Constructor helpers of the cause tables, by plane.
 _PLANE_CTORS = {"_mm": "mm", "_sm": "sm"}
@@ -325,6 +326,78 @@ def _frame_table_keys(tree: ast.Module, table_name: str) -> set[str] | None:
                 and key.value.id == "FrameType"
             }
     return None
+
+
+#: TaskSpec fields a result-cache key may legally depend on — the
+#: fingerprint-stable simulation coordinates. Everything else on a
+#: TaskSpec (``task_id``, ``replica``) is a plan coordinate, and
+#: execution context (executor mode, worker count, shard/cohort
+#: packing) never reaches the record bytes at all.
+_STABLE_TASK_FIELDS = {"android_timers", "handling", "horizon", "scenario",
+                       "seed"}
+#: Identifier tokens that smell like execution context leaking into
+#: the key builder's signature.
+_CONTEXT_TOKENS = {"chunk", "chunks", "cohort", "executor", "mode",
+                   "pool", "replica", "shard", "worker", "workers"}
+
+
+def _find_function(tree: ast.Module, name: str) -> ast.FunctionDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+@rule(
+    "PROTO006",
+    "result-cache keys must be built only from fingerprint-stable "
+    "TaskSpec fields (scenario/handling/seed/horizon/android_timers) — "
+    "a task-id, replica, executor-mode, or worker-count leak into the "
+    "key silently splits identical results and kills the hit rate",
+    project=True,
+)
+def proto006_cache_key_purity(project: Project) -> Iterator[Finding]:
+    resultcache = project.find(RESULTCACHE_PATH)
+    if resultcache is None or resultcache.tree is None:
+        return
+    builder = _find_function(resultcache.tree, "task_key")
+    if builder is None:
+        yield Finding(
+            resultcache.path, 1, 0, "PROTO006",
+            f"{RESULTCACHE_PATH} has no task_key() builder; cache-key "
+            f"derivation cannot be statically verified",
+        )
+        return
+    args = builder.args
+    positional = args.posonlyargs + args.args
+    if not positional:
+        return
+    task_param = positional[0].arg
+    for arg in list(positional[1:]) + args.kwonlyargs:
+        tokens = set(arg.arg.lower().split("_"))
+        leaked = sorted(tokens & _CONTEXT_TOKENS)
+        if leaked:
+            yield Finding(
+                resultcache.path, builder.lineno, builder.col_offset,
+                "PROTO006",
+                f"task_key() parameter {arg.arg!r} carries execution "
+                f"context ({', '.join(leaked)}) into the cache key; keys "
+                f"may depend only on the code fingerprint and the task's "
+                f"simulation coordinates",
+            )
+    for node in ast.walk(builder):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == task_param
+            and node.attr not in _STABLE_TASK_FIELDS
+        ):
+            yield Finding(
+                resultcache.path, node.lineno, node.col_offset, "PROTO006",
+                f"cache key reads TaskSpec.{node.attr}, which is not a "
+                f"fingerprint-stable simulation coordinate (allowed: "
+                f"{', '.join(sorted(_STABLE_TASK_FIELDS))})",
+            )
 
 
 @rule(

@@ -56,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dispatch mode for served sweeps: auto lets the "
                             "planner cost model pick inline vs the warm pool "
                             "per job (default: auto)")
+    start.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="content-addressed result cache shared by all "
+                            "jobs (default: on; env REPRO_RESULT_CACHE=off "
+                            "disables)")
+    start.add_argument("--cache-dir", metavar="DIR",
+                       help="result-cache directory (default: "
+                            "<root>/resultcache)")
 
     submit = sub.add_parser(
         "submit", help="submit a sweep (fleet CLI flags)")
@@ -101,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_start(args: argparse.Namespace) -> int:
     daemon = ServeDaemon(args.root, workers=args.workers, host=args.host,
                          port=args.port, retries=args.retries,
-                         executor=args.executor)
+                         executor=args.executor, cache=args.cache,
+                         cache_dir=args.cache_dir)
     print(f"serve: listening on {daemon.url} "
           f"(workers {args.workers}, root {args.root})")
     try:
@@ -115,9 +124,14 @@ def _watch(client: ServeClient, job_id: str) -> int:
     """Follow a job to a terminal state, printing each progress tick."""
     status = client.job(job_id, aggregate=False)
     while True:
+        hits = status.get("cache_hits", 0)
+        misses = status.get("cache_misses", 0)
+        cache = (f", cache {hits} hits / {misses} misses"
+                 if hits or misses else "")
         print(f"serve: {status['job_id']} {status['state']} — "
               f"{status['shards_done']}/{status['shards_total']} shards, "
-              f"{status['tasks_done']}/{status['tasks_total']} tasks")
+              f"{status['tasks_done']}/{status['tasks_total']} tasks"
+              f"{cache}")
         if status["state"] not in ("queued", "running"):
             break
         status = client.job(job_id, wait=status["version"], aggregate=False)

@@ -33,6 +33,7 @@ from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
 from repro.fleet.pool import WorkerPool
+from repro.fleet.resultcache import resolve_cache
 from repro.serve.jobs import JobQueue
 from repro.serve.store import RunRegistry
 
@@ -55,15 +56,23 @@ class ServeDaemon:
         retries: int = 2,
         warm: bool = True,
         executor: str = "auto",
+        cache: bool | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self.root = Path(root)
-        self.pool = WorkerPool(workers) if warm and workers > 1 else None
+        # One cache for every job of this daemon (and any concurrent
+        # daemon pointed at the same root): default on, under the
+        # service root next to the registry.
+        self.cache = resolve_cache(cache, cache_dir,
+                                   default_dir=self.root / "resultcache")
+        self.pool = (WorkerPool(workers, cache=self.cache)
+                     if warm and workers > 1 else None)
         self.workers = workers
         self.executor = executor
         self.registry = RunRegistry(self.root / "registry")
         self.queue = JobQueue(self.pool, self.registry,
                               self.root / "jobs", retries=retries,
-                              executor=executor)
+                              executor=executor, cache=self.cache)
         self._server = ThreadingHTTPServer((host, port), _make_handler(self))
         self._server.daemon_threads = True
 
@@ -109,6 +118,9 @@ class ServeDaemon:
         thread.start()
 
     def health(self) -> dict:
+        cache = self.queue.cache_stats()
+        if self.cache is not None:
+            cache["dir"] = str(self.cache.root)
         return {
             "status": "ok",
             "workers": self.workers,
@@ -118,6 +130,7 @@ class ServeDaemon:
                 self.pool.executors_spawned if self.pool is not None else 0),
             "jobs": len(self.queue.jobs()),
             "runs": len(self.registry.fingerprints()),
+            "cache": cache,
             "root": str(self.root),
         }
 

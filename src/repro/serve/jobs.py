@@ -40,6 +40,7 @@ from repro.fleet.aggregate import canonical_json
 from repro.fleet.checkpoint import Checkpoint, CheckpointMismatch
 from repro.fleet.planner import FleetPlan, plan_from_spec
 from repro.fleet.pool import WorkerPool, execute_plan
+from repro.fleet.resultcache import ResultCache
 from repro.fleet.worker import run_shard
 from repro.serve.store import RunRegistry
 
@@ -72,6 +73,10 @@ class Job:
         self.state = JobState.QUEUED
         self.error: str | None = None
         self.shards_done = 0
+        #: Result-cache partition counters for this job (telemetry,
+        #: like timings — never part of the aggregate).
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.stream = AggregateState()
         self.timings: dict[str, float] = {}   # perf_counter durations (s)
         self.registry_path: str | None = None
@@ -163,6 +168,13 @@ class Job:
             self.shards_done += 1
             self._bump_locked()
 
+    def note_cache(self, hits: int, misses: int) -> None:
+        """Record the cache partition (fires once, before dispatch)."""
+        with self.cond:
+            self.cache_hits = hits
+            self.cache_misses = misses
+            self._bump_locked()
+
     def request_cancel(self) -> None:
         """Cancel: immediate for queued jobs, cooperative for running.
 
@@ -209,6 +221,8 @@ class Job:
                 "shards_total": self.shards_total,
                 "tasks_done": self.stream.tasks,
                 "tasks_total": self.tasks_total,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
                 "timings": dict(sorted(self.timings.items())),
                 "registry_path": self.registry_path,
                 "spec": self.spec,
@@ -229,6 +243,7 @@ class JobQueue:
         shard_fn: Callable[[dict], dict] = run_shard,
         retries: int = 2,
         executor: str = "auto",
+        cache: ResultCache | None = None,
     ) -> None:
         self.pool = pool
         self.registry = registry
@@ -236,12 +251,17 @@ class JobQueue:
         self.shard_fn = shard_fn
         self.retries = retries
         self.executor = executor
+        #: One cache shared by every job of this daemon: a task any
+        #: earlier job computed is never simulated again.
+        self.cache = cache
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._pending: queue.Queue[Job | None] = queue.Queue()
         self._lock = threading.Lock()
         self._seq = 0
         self._thread: threading.Thread | None = None
+        self._cache_hits_total = 0
+        self._cache_misses_total = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -282,6 +302,18 @@ class JobQueue:
         """All known jobs, in submission order."""
         with self._lock:
             return [self._jobs[job_id] for job_id in self._order]
+
+    def cache_stats(self) -> dict:
+        """Hit/miss totals across every job served so far (health())."""
+        with self._lock:
+            hits, misses = self._cache_hits_total, self._cache_misses_total
+        probed = hits + misses
+        return {
+            "enabled": self.cache is not None,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / probed, 4) if probed else None,
+        }
 
     def cancel(self, job_id: str) -> Job | None:
         with self._lock:
@@ -325,10 +357,17 @@ class JobQueue:
                 on_shard=job.note_shard,
                 stop=lambda: job.cancel_requested,
                 executor=self.executor,
+                cache=self.cache,
+                on_cache=job.note_cache,
             )
         except CheckpointMismatch as exc:
             job.mark(JobState.FAILED, str(exc))
             return
+        with self._lock:
+            self._cache_hits_total += outcome.cache_hits
+            self._cache_misses_total += outcome.cache_misses
+        if self.cache is not None:
+            self.cache.prune()
         if outcome.stopped:
             # The checkpoint keeps every completed shard: resubmitting
             # the same spec (same fingerprint) resumes right here.

@@ -70,7 +70,14 @@ class RunRegistry:
 
     # -- reading -------------------------------------------------------
     def fingerprints(self) -> list[str]:
-        """Recorded fingerprints, sorted (deterministic listing order)."""
+        """Recorded fingerprints, sorted (deterministic listing order).
+
+        Sorted by fingerprint *name*, never by directory mtime or the
+        filesystem's ``iterdir`` order (which varies across
+        filesystems and with recording order), so ``runs``/``diff``
+        output is stable no matter when or where entries were written.
+        Pinned by ``tests/test_serve.py``.
+        """
         if not self.root.is_dir():
             return []
         return sorted(

@@ -1,0 +1,18 @@
+"""Fixture: cache key polluted by plan coordinates and context."""
+
+import hashlib
+import json
+
+
+# task.task_id is a plan coordinate, and executor_mode is execution
+# context: neither may reach the key bytes.
+def task_key(task, code, executor_mode):
+    material = {
+        "code": code,
+        "mode": executor_mode,
+        "scenario": task.scenario,
+        "seed": task.seed,
+        "task": task.task_id,
+    }
+    blob = json.dumps(material, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,17 @@
+"""Fixture: cache key built only from fingerprint-stable fields."""
+
+import hashlib
+import json
+
+
+def task_key(task, code):
+    material = {
+        "android_timers": task.android_timers,
+        "code": code,
+        "handling": task.handling,
+        "horizon": task.horizon,
+        "scenario": task.scenario,
+        "seed": task.seed,
+    }
+    blob = json.dumps(material, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()

@@ -321,6 +321,20 @@ class TestPoolRebuild:
         assert set(outcome.failed) == {s.shard_id for s in plan.shards}
 
 
+class TestRegistryOrdering:
+    def test_fingerprints_sorted_by_name_not_recording_order(self, tmp_path):
+        # Recording order (and therefore directory mtime / iterdir
+        # order) must never leak into the listing: ``runs``/``diff``
+        # output has to be stable no matter when entries were written.
+        registry = RunRegistry(tmp_path / "registry")
+        for fingerprint in ("bbbb", "aaaa", "cccc"):
+            registry.record(fingerprint, spec={"kind": "matrix"},
+                            aggregate_json="{}\n", timings={}, meta={})
+        assert registry.fingerprints() == ["aaaa", "bbbb", "cccc"]
+        assert [r["fingerprint"] for r in registry.runs()] == [
+            "aaaa", "bbbb", "cccc"]
+
+
 class TestRegistryDiff:
     def test_diff_is_deterministic_and_sorted(self, tmp_path):
         registry = RunRegistry(tmp_path / "registry")
